@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table of the paper has a ``bench_*.py`` file here.  Each bench
+
+* regenerates the figure's data series and *prints* them (the same
+  rows/series the paper reports), and
+* times a representative unit of work with ``pytest-benchmark``.
+
+By default the benches run on a scaled-down suite so that
+``pytest benchmarks/ --benchmark-only`` completes in a couple of minutes.
+Set ``REPRO_BENCH_SCALE=paper`` to run the full Table II applications with the
+paper's capacity sweep (this is what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from repro.apps import scaled_suite, table2_suite
+from repro.ir.circuit import Circuit
+
+#: Capacity sweep used at paper scale (Figures 6-8 x axis).
+PAPER_CAPACITIES = (14, 18, 22, 26, 30, 34)
+
+#: Reduced sweep used by default so the harness stays fast.
+SMALL_CAPACITIES = (6, 8, 10)
+
+
+def bench_scale() -> str:
+    """"paper" or "small", from the REPRO_BENCH_SCALE environment variable."""
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if scale not in ("paper", "small"):
+        raise ValueError("REPRO_BENCH_SCALE must be 'paper' or 'small'")
+    return scale
+
+
+def bench_suite() -> Dict[str, Circuit]:
+    """The application suite for the selected scale."""
+
+    if bench_scale() == "paper":
+        return table2_suite()
+    return scaled_suite(16)
+
+
+def bench_capacities() -> Sequence[int]:
+    """The trap-capacity sweep for the selected scale."""
+
+    return PAPER_CAPACITIES if bench_scale() == "paper" else SMALL_CAPACITIES
+
+
+def reference_capacity() -> int:
+    """A single mid-sweep capacity used by the timed benchmark units."""
+
+    capacities = bench_capacities()
+    return capacities[len(capacities) // 2]
+
+
+def print_series(title: str, capacities: Sequence[int],
+                 series: Dict[str, List[float]]) -> None:
+    """Print one figure panel as an aligned table."""
+
+    from repro.analysis.series import format_series_table
+
+    print()
+    print(format_series_table(capacities, series, title=title))

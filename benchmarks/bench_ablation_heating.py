@@ -1,0 +1,68 @@
+"""Ablation: sensitivity to the heating and buffer-space design choices.
+
+Two of the calibration knobs DESIGN.md documents are swept here:
+
+* the shuttle heating constants (k1, k2) -- the paper assumes an order of
+  magnitude better than Honeywell's measured rates; this ablation shows how
+  application fidelity responds if that improvement does not materialise;
+* the per-trap buffer reserved for incoming shuttles (the paper uses 2).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from _common import bench_suite, reference_capacity
+
+from repro.compiler import compile_circuit
+from repro.models.params import HeatingParams, PhysicalModel
+from repro.sim import simulate
+from repro.toolflow import ArchitectureConfig
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    circuit = bench_suite()["SquareRoot"]
+    config = ArchitectureConfig(topology="L6", trap_capacity=reference_capacity())
+    device = config.build_device(circuit.num_qubits)
+    return compile_circuit(circuit, device), device
+
+
+@pytest.mark.parametrize("scale", [0.1, 1.0, 10.0])
+def test_heating_rate_ablation(benchmark, compiled, scale):
+    program, device = compiled
+    base = device.model.heating
+    heating = HeatingParams(k1=base.k1 * scale, k2=base.k2 * scale,
+                            k_junction=base.k_junction * scale,
+                            background_rate=base.background_rate)
+    hot_device = replace(device, model=replace(device.model, heating=heating), name="")
+    result = benchmark(simulate, program, hot_device)
+    print(f"\n[heating x{scale}] fidelity={result.fidelity:.3e} "
+          f"maxE={result.max_motional_energy:.1f}")
+    assert 0.0 <= result.fidelity <= 1.0
+
+
+def test_fidelity_monotone_in_heating(compiled):
+    program, device = compiled
+    fidelities = []
+    for scale in (0.1, 1.0, 10.0):
+        base = PhysicalModel().heating
+        heating = HeatingParams(k1=base.k1 * scale, k2=base.k2 * scale,
+                                k_junction=base.k_junction * scale,
+                                background_rate=base.background_rate)
+        variant = replace(device, model=replace(device.model, heating=heating), name="")
+        fidelities.append(simulate(program, variant).fidelity)
+    assert fidelities[0] >= fidelities[1] >= fidelities[2]
+
+
+@pytest.mark.parametrize("buffer_ions", [1, 2, 4])
+def test_buffer_space_ablation(benchmark, buffer_ions):
+    circuit = bench_suite()["QFT"]
+    config = ArchitectureConfig(topology="L6", trap_capacity=reference_capacity(),
+                                buffer_ions=buffer_ions)
+    device = config.build_device(circuit.num_qubits)
+    program = benchmark(compile_circuit, circuit, device)
+    result = simulate(program, device)
+    print(f"\n[buffer={buffer_ions}] shuttles={program.num_shuttles} "
+          f"fidelity={result.fidelity:.3e}")
+    assert result.duration > 0.0

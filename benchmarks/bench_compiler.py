@@ -1,0 +1,46 @@
+"""Toolflow microbenchmarks: compiler throughput.
+
+Not a paper figure, but a useful regression guard: the compiler must stay fast
+enough that the paper-scale sweeps (hundreds of compile+simulate runs) finish
+in minutes on a laptop, as the authors report for their Skylake host.
+"""
+
+import pytest
+
+from _common import bench_suite, reference_capacity
+
+from repro.compiler import compile_circuit
+from repro.compiler.compile import CompilerOptions
+from repro.toolflow import ArchitectureConfig
+
+
+@pytest.fixture(scope="module")
+def device():
+    config = ArchitectureConfig(topology="L6", trap_capacity=reference_capacity())
+    circuit = bench_suite()["QFT"]
+    return circuit, config.build_device(circuit.num_qubits)
+
+
+def test_compile_qft(benchmark, device):
+    circuit, dev = device
+    program = benchmark(compile_circuit, circuit, dev)
+    assert program.num_two_qubit_gates == circuit.num_two_qubit_gates
+
+
+def test_compile_qft_is_reordering(benchmark):
+    circuit = bench_suite()["QFT"]
+    config = ArchitectureConfig(topology="L6", trap_capacity=reference_capacity(),
+                                reorder="IS")
+    dev = config.build_device(circuit.num_qubits)
+    program = benchmark(compile_circuit, circuit, dev)
+    assert program.num_two_qubit_gates == circuit.num_two_qubit_gates
+
+
+@pytest.mark.parametrize("mapping", ["greedy", "round_robin", "interaction_aware"])
+def test_compile_mapping_strategies(benchmark, mapping):
+    circuit = bench_suite()["Supremacy"]
+    config = ArchitectureConfig(topology="L6", trap_capacity=reference_capacity())
+    dev = config.build_device(circuit.num_qubits)
+    options = CompilerOptions(mapping=mapping)
+    program = benchmark(compile_circuit, circuit, dev, options)
+    assert program.num_two_qubit_gates == circuit.num_two_qubit_gates

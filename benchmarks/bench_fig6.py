@@ -1,0 +1,59 @@
+"""Figure 6: trap-sizing study on the linear (L6-style) topology.
+
+Regenerates and prints every panel's series:
+
+* 6a  application runtime versus trap capacity,
+* 6b  QFT computation/communication time breakdown,
+* 6c-e application fidelity versus trap capacity,
+* 6f  maximum motional-mode energy versus trap capacity,
+* 6g  Supremacy MS-gate error split (motional versus background),
+
+and times one representative compile+simulate unit (QFT at the mid-sweep
+capacity) with pytest-benchmark.
+"""
+
+import pytest
+
+from _common import bench_capacities, bench_scale, bench_suite, print_series, reference_capacity
+
+from repro.toolflow import ArchitectureConfig, figure6, run_experiment
+
+
+def _base_config():
+    topology = "L6" if bench_scale() == "paper" else "L4"
+    return ArchitectureConfig(topology=topology, gate="FM", reorder="GS")
+
+
+@pytest.fixture(scope="module")
+def fig6_bundle():
+    return figure6(bench_suite(), capacities=bench_capacities(), base=_base_config())
+
+
+def test_fig6_series(benchmark, fig6_bundle):
+    suite = bench_suite()
+    config = _base_config().with_updates(trap_capacity=reference_capacity())
+    benchmark(run_experiment, suite["QFT"], config)
+
+    capacities = fig6_bundle["capacities"]
+    print()
+    print(f"Figure 6 (scale={bench_scale()}, config={_base_config().name})")
+    print_series("Fig 6a: application runtime (s)", capacities, fig6_bundle["runtime_s"])
+    print_series("Fig 6b: QFT time breakdown (s)", capacities, fig6_bundle["qft_breakdown"])
+    print_series("Fig 6c-e: application fidelity", capacities, fig6_bundle["fidelity"])
+    print_series("Fig 6f: max motional energy (quanta)", capacities,
+                 fig6_bundle["max_motional_energy"])
+    print_series("Fig 6g: Supremacy MS-gate error contribution", capacities,
+                 fig6_bundle["supremacy_error"])
+
+    # Shape checks (the paper's qualitative claims).
+    fidelity = fig6_bundle["fidelity"]
+    assert min(fidelity["BV"]) > 0.9, "BV stays reliable at every capacity"
+    assert max(fidelity["QFT"]) < min(fidelity["BV"]), "QFT is far less reliable than BV"
+    energy = fig6_bundle["max_motional_energy"]
+    assert energy["QFT"][0] > energy["QFT"][-1], "heating drops as capacity grows"
+    breakdown = fig6_bundle["qft_breakdown"]
+    assert breakdown["computation_s"][-1] > breakdown["computation_s"][0], \
+        "QFT computation time grows with capacity (longer FM gates)"
+    error = fig6_bundle["supremacy_error"]
+    assert all(m > b for m, b in zip(error["motional"], error["background"])), \
+        "motional error dominates background error (Fig 6g)"

@@ -1,0 +1,50 @@
+"""Figure 8: microarchitecture study (gate implementation x chain reordering).
+
+Regenerates and prints, for every application, the fidelity and runtime of the
+eight combinations {AM1, AM2, PM, FM} x {GS, IS} across the capacity sweep on
+the linear topology, and times the gate-variant fan-out (one compilation,
+four simulations) for QAOA.
+"""
+
+import pytest
+
+from _common import bench_capacities, bench_scale, bench_suite, print_series, reference_capacity
+
+from repro.toolflow import ArchitectureConfig, figure8, run_gate_variants
+
+
+def _base_config():
+    topology = "L6" if bench_scale() == "paper" else "L4"
+    return ArchitectureConfig(topology=topology)
+
+
+@pytest.fixture(scope="module")
+def fig8_bundle():
+    return figure8(bench_suite(), capacities=bench_capacities(), base=_base_config())
+
+
+def test_fig8_series(benchmark, fig8_bundle):
+    suite = bench_suite()
+    config = _base_config().with_updates(trap_capacity=reference_capacity())
+    benchmark(run_gate_variants, suite["QAOA"], config)
+
+    capacities = fig8_bundle["capacities"]
+    print()
+    print(f"Figure 8 (scale={bench_scale()}, combos={fig8_bundle['combos']})")
+    for name in suite:
+        print_series(f"Fig 8 fidelity: {name}", capacities, fig8_bundle["fidelity"][name])
+        print_series(f"Fig 8 runtime (s): {name}", capacities, fig8_bundle["runtime_s"][name])
+
+    fidelity = fig8_bundle["fidelity"]
+    # GS is never worse than IS for the communication-heavy applications.
+    for app in ("QFT", "SquareRoot"):
+        gs = fidelity[app]["FM-GS"]
+        is_ = fidelity[app]["FM-IS"]
+        assert all(g >= i for g, i in zip(gs, is_)), f"GS >= IS for {app}"
+    # QAOA needs no reordering, so GS and IS coincide.
+    assert fidelity["QAOA"]["FM-GS"] == pytest.approx(fidelity["QAOA"]["FM-IS"])
+    # FM beats AM1 for the long-range QFT.
+    assert all(f >= a for f, a in zip(fidelity["QFT"]["FM-GS"], fidelity["QFT"]["AM1-GS"]))
+    # AM2 is at least as fast as FM for the nearest-neighbour QAOA.
+    runtime = fig8_bundle["runtime_s"]["QAOA"]
+    assert all(a <= f * 1.05 for a, f in zip(runtime["AM2-GS"], runtime["FM-GS"]))

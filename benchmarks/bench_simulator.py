@@ -1,0 +1,48 @@
+"""Toolflow microbenchmarks: simulator throughput.
+
+Times the three-pass simulation engine on a pre-compiled program, with and
+without the computation/communication breakdown pass.
+"""
+
+import pytest
+
+from _common import bench_suite, reference_capacity
+
+from repro.compiler import compile_circuit
+from repro.sim import simulate
+from repro.toolflow import ArchitectureConfig
+
+
+@pytest.fixture(scope="module")
+def compiled_qft():
+    circuit = bench_suite()["QFT"]
+    config = ArchitectureConfig(topology="L6", trap_capacity=reference_capacity())
+    device = config.build_device(circuit.num_qubits)
+    return compile_circuit(circuit, device), device
+
+
+def test_simulate_qft(benchmark, compiled_qft):
+    program, device = compiled_qft
+    result = benchmark(simulate, program, device)
+    assert 0.0 <= result.fidelity <= 1.0
+
+
+def test_simulate_qft_no_breakdown(benchmark, compiled_qft):
+    program, device = compiled_qft
+    result = benchmark(lambda: simulate(program, device, with_breakdown=False))
+    assert result.duration > 0.0
+
+
+def test_simulate_qft_with_timeline(benchmark, compiled_qft):
+    program, device = compiled_qft
+    result = benchmark(lambda: simulate(program, device, keep_timeline=True))
+    assert len(result.timeline) == len(program)
+
+
+def test_simulate_gate_variants(benchmark, compiled_qft):
+    """Re-simulating under a different gate implementation must not recompile."""
+
+    program, device = compiled_qft
+    am1 = device.with_gate("AM1")
+    result = benchmark(simulate, program, am1)
+    assert result.duration > 0.0

@@ -1,0 +1,39 @@
+"""Baseline: single-trap architecture versus the QCCD design (Section III.A).
+
+Not a numbered figure in the paper, but the motivating comparison: a single
+long chain needs no shuttling yet its per-gate error grows with the chain
+length, which is why the QCCD architecture exists.  Prints a small sweep and
+times the baseline simulator.
+"""
+
+import pytest
+
+from _common import bench_scale
+
+from repro.apps import qft_circuit
+from repro.baselines import simulate_single_trap, single_trap_sweep
+
+
+def _sizes():
+    return (16, 32, 48, 64) if bench_scale() == "paper" else (8, 16, 24)
+
+
+def test_single_trap_sweep(benchmark):
+    sizes = _sizes()
+    results = benchmark(single_trap_sweep, qft_circuit, sizes)
+    print()
+    print("Single-trap baseline: QFT fidelity versus chain length")
+    for size, result in zip(sizes, results):
+        print(f"  N={size:3d}  time={result.duration_seconds:.4f}s "
+              f"fidelity={result.fidelity:.3e} "
+              f"per-gate motional error={result.mean_motional_error:.2e}")
+    fidelities = [result.fidelity for result in results]
+    assert fidelities == sorted(fidelities, reverse=True), \
+        "single-trap fidelity decays monotonically with chain length"
+
+
+@pytest.mark.parametrize("gate", ["AM1", "AM2", "PM", "FM"])
+def test_single_trap_gate_choice(benchmark, gate):
+    size = _sizes()[-1]
+    result = benchmark(simulate_single_trap, qft_circuit(size), gate)
+    assert result.num_shuttles == 0

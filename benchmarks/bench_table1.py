@@ -1,0 +1,20 @@
+"""Table I: shuttling primitive operation times.
+
+Prints the table and times the evaluation of the shuttling-time model (a
+trivial but complete harness entry so every table has a `bench_` target).
+"""
+
+from repro.models.params import ShuttleTimes
+from repro.models.shuttle_times import format_table1, operation_times
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(operation_times, ShuttleTimes())
+    print()
+    print("Table I: shuttling operation times")
+    print(format_table1())
+    assert rows["Move ion through one segment"] == 5.0
+    assert rows["Splitting operation on a chain"] == 80.0
+    assert rows["Merging an ion with a chain"] == 80.0
+    assert rows["Crossing Y-junction"] == 100.0
+    assert rows["Crossing X-junction"] == 120.0

@@ -1,0 +1,30 @@
+"""Table II: the NISQ application suite (qubits, two-qubit gates, pattern).
+
+Prints the regenerated table next to the paper's reported counts and times the
+construction of the full-scale suite.
+"""
+
+from _common import bench_scale
+
+from repro.apps import table2_suite
+from repro.apps.suite import PAPER_TABLE2, application_summary
+from repro.toolflow.tables import format_table2_text
+
+
+def test_table2_suite_generation(benchmark):
+    suite = benchmark(table2_suite)
+    print()
+    print(f"Table II: benchmark suite (scale={bench_scale()}, generation always full-scale)")
+    print(format_table2_text(suite))
+
+    rows = {row["application"]: row for row in application_summary(suite)}
+    # Exact reproductions.
+    assert rows["QFT"]["two_qubit_gates"] == PAPER_TABLE2["QFT"]["two_qubit_gates"]
+    assert rows["QAOA"]["two_qubit_gates"] == PAPER_TABLE2["QAOA"]["two_qubit_gates"]
+    assert rows["Supremacy"]["two_qubit_gates"] == PAPER_TABLE2["Supremacy"]["two_qubit_gates"]
+    # Structural reproductions (same qubit count, gate count within ~15%).
+    for name in ("Adder", "BV", "SquareRoot"):
+        paper = PAPER_TABLE2[name]["two_qubit_gates"]
+        assert abs(rows[name]["two_qubit_gates"] - paper) / paper < 0.15
+    for name, row in rows.items():
+        assert row["qubits"] == PAPER_TABLE2[name]["qubits"]

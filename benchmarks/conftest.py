@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Allow `from _common import ...` inside the benchmark modules regardless of
+# the directory pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Microarchitecture study: reproduce Figure 8 of the paper.
+
+Evaluates the eight combinations of two-qubit gate implementation (AM1, AM2,
+PM, FM) and chain-reordering method (GS, IS) on the linear topology, printing
+fidelity and runtime series per application, plus the headline ratios the
+paper quotes (FM over AM1, GS over IS).
+
+Run:  python examples/microarch_study.py [--small]
+"""
+
+import argparse
+
+from repro.analysis.compare import gate_choice_improvement, reorder_fidelity_ratio
+from repro.analysis.series import format_series_table
+from repro.apps import scaled_suite, table2_suite
+from repro.toolflow import ArchitectureConfig, figure8
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true",
+                        help="run a fast, scaled-down version of the study")
+    args = parser.parse_args()
+
+    if args.small:
+        suite = scaled_suite(16)
+        capacities = (6, 8, 10)
+        base = ArchitectureConfig(topology="L4")
+    else:
+        suite = table2_suite()
+        capacities = (14, 18, 22, 26, 30, 34)
+        base = ArchitectureConfig(topology="L6")
+
+    print(f"Microarchitecture study on {base.topology}: "
+          "{AM1, AM2, PM, FM} x {GS, IS}")
+    bundle = figure8(suite, capacities=capacities, base=base)
+
+    for name in suite:
+        print()
+        print(format_series_table(capacities, bundle["fidelity"][name],
+                                  title=f"Figure 8 fidelity: {name}",
+                                  value_format="{:.3e}"))
+        print()
+        print(format_series_table(capacities, bundle["runtime_s"][name],
+                                  title=f"Figure 8 runtime (s): {name}"))
+
+    print()
+    print("Headline comparisons:")
+    for name in suite:
+        fm_over_am1 = gate_choice_improvement(bundle["fidelity"][name], "FM", "AM1")
+        fm_over_am2 = gate_choice_improvement(bundle["fidelity"][name], "FM", "AM2")
+        gs_over_is = reorder_fidelity_ratio(bundle["fidelity"][name], gate="FM")
+        print(f"  {name:12s} FM/AM1 up to {fm_over_am1:10,.1f}x   "
+              f"FM/AM2 up to {fm_over_am2:8,.1f}x   GS/IS up to {gs_over_is:10,.1f}x")
+
+
+if __name__ == "__main__":
+    main()

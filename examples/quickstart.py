@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and simulate one application on one QCCD device.
+
+This is the 5-minute tour of the toolflow (paper Figure 3):
+
+1. build a candidate architecture (topology, trap capacity, gate
+   implementation, chain-reordering method),
+2. generate a NISQ application from the Table II suite,
+3. compile it (mapping, shuttle routing, reordering insertion),
+4. simulate it (timing, heating, fidelity) and inspect the metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_device, compile_circuit, simulate
+from repro.apps import qaoa_circuit
+from repro.models.shuttle_times import format_table1
+from repro.sim.metrics import communication_fraction, shuttles_per_two_qubit_gate
+from repro.visualize import device_report
+
+
+def main() -> None:
+    # 1. A candidate architecture: Honeywell-style linear device with six
+    #    traps of 20 ions, frequency-modulated MS gates and gate-based
+    #    swapping for chain reordering.
+    device = build_device("L6", trap_capacity=20, gate="FM", reorder="GS",
+                          num_qubits=32)
+    print(device_report(device))
+    print()
+    print("Shuttling primitive times (paper Table I):")
+    print(format_table1(device.model.shuttle))
+
+    # 2. A 32-qubit, 8-layer hardware-efficient QAOA ansatz.
+    circuit = qaoa_circuit(32, layers=8)
+    print()
+    print(f"Application: {circuit.name} -- {circuit.num_qubits} qubits, "
+          f"{circuit.num_two_qubit_gates} two-qubit gates, "
+          f"{circuit.num_single_qubit_gates} single-qubit gates")
+
+    # 3. Compile: map qubits to traps, orchestrate shuttling.
+    program = compile_circuit(circuit, device)
+    print()
+    print(f"Compiled program: {len(program)} primitive operations")
+    for label, count in program.communication_summary().items():
+        print(f"  {label:18s} {count}")
+
+    # 4. Simulate: runtime, reliability and device-level noise metrics.
+    result = simulate(program, device)
+    print()
+    print("Simulation results")
+    print(f"  execution time      : {result.duration_seconds * 1e3:.2f} ms")
+    print(f"    computation       : {result.computation_seconds * 1e3:.2f} ms")
+    print(f"    communication     : {result.communication_seconds * 1e3:.2f} ms "
+          f"({100 * communication_fraction(result):.1f}%)")
+    print(f"  application fidelity: {result.fidelity:.4f}")
+    print(f"  shuttles per 2Q gate: {shuttles_per_two_qubit_gate(result):.3f}")
+    print(f"  max motional energy : {result.max_motional_energy:.2f} quanta")
+    print(f"  mean MS gate error  : {result.mean_two_qubit_error:.2e} "
+          f"(motional {result.mean_motional_error:.2e}, "
+          f"background {result.mean_background_error:.2e})")
+
+
+if __name__ == "__main__":
+    main()

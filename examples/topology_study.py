@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Communication topology study: reproduce Figure 7 of the paper.
+
+Compares the linear (L6) and grid (G2x3) topologies for every Table II
+application across the trap-capacity sweep, printing runtime and fidelity per
+topology and the SquareRoot motional-heating panel (Figure 7g).
+
+Run:  python examples/topology_study.py [--small]
+"""
+
+import argparse
+
+from repro.analysis.compare import topology_fidelity_ratio
+from repro.analysis.series import flatten_nested_series, format_series_table
+from repro.apps import scaled_suite, table2_suite
+from repro.toolflow import ArchitectureConfig, figure7
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true",
+                        help="run a fast, scaled-down version of the study")
+    args = parser.parse_args()
+
+    if args.small:
+        suite = scaled_suite(16)
+        capacities = (6, 8, 10, 12)
+        topologies = ("L4", "G2x2")
+    else:
+        suite = table2_suite()
+        capacities = (14, 18, 22, 26, 30, 34)
+        topologies = ("L6", "G2x3")
+
+    linear, grid = topologies
+    print(f"Topology study: {linear} (linear) vs {grid} (grid), FM gates, GS reordering")
+    bundle = figure7(suite, capacities=capacities, topologies=topologies,
+                     base=ArchitectureConfig(gate="FM", reorder="GS"))
+
+    print()
+    print(format_series_table(capacities, flatten_nested_series(bundle["runtime_s"]),
+                              title="Figure 7a-f: runtime (s) per topology"))
+    print()
+    print(format_series_table(capacities, flatten_nested_series(bundle["fidelity"]),
+                              title="Figure 7a-f: fidelity per topology",
+                              value_format="{:.3e}"))
+    print()
+    print(format_series_table(capacities, bundle["squareroot_heating"],
+                              title="Figure 7g: SquareRoot motional heating (quanta)"))
+
+    print()
+    print("Topology sensitivity (largest per-capacity fidelity ratio):")
+    for name in suite:
+        grid_over_linear = topology_fidelity_ratio(bundle["fidelity"][name],
+                                                   better=grid, worse=linear)
+        linear_over_grid = topology_fidelity_ratio(bundle["fidelity"][name],
+                                                   better=linear, worse=grid)
+        preferred = grid if grid_over_linear > linear_over_grid else linear
+        factor = max(grid_over_linear, linear_over_grid)
+        print(f"  {name:12s} prefers {preferred:5s} (up to {factor:,.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Trap-sizing study: reproduce Figure 6 of the paper.
+
+Sweeps the per-trap ion capacity of a linear 6-trap device (FM gates, GS
+reordering) over the six Table II applications and prints the series of every
+panel: runtime, QFT time breakdown, fidelity, motional energy, and the
+Supremacy error-source split.
+
+Run:  python examples/trap_sizing_study.py [--small]
+
+With ``--small`` the study runs on 16-qubit versions of the applications and a
+short capacity sweep (seconds instead of minutes).
+"""
+
+import argparse
+
+from repro.analysis.compare import best_worst_ratio, crossover_capacity
+from repro.analysis.series import format_series_table
+from repro.apps import scaled_suite, table2_suite
+from repro.toolflow import ArchitectureConfig, figure6
+from repro.visualize import ascii_line_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true",
+                        help="run a fast, scaled-down version of the study")
+    args = parser.parse_args()
+
+    if args.small:
+        suite = scaled_suite(16)
+        capacities = (6, 8, 10, 12)
+        base = ArchitectureConfig(topology="L4", gate="FM", reorder="GS")
+    else:
+        suite = table2_suite()
+        capacities = (14, 18, 22, 26, 30, 34)
+        base = ArchitectureConfig(topology="L6", gate="FM", reorder="GS")
+
+    print(f"Trap sizing study on {base.topology} (FM gates, GS reordering)")
+    print(f"Applications: {', '.join(suite)}")
+    print(f"Capacities: {list(capacities)}")
+    bundle = figure6(suite, capacities=capacities, base=base)
+
+    print()
+    print(format_series_table(capacities, bundle["runtime_s"],
+                              title="Figure 6a: application runtime (s)"))
+    print()
+    print(format_series_table(capacities, bundle["qft_breakdown"],
+                              title="Figure 6b: QFT computation vs communication (s)"))
+    print()
+    print(format_series_table(capacities, bundle["fidelity"],
+                              title="Figure 6c-e: application fidelity",
+                              value_format="{:.3e}"))
+    print()
+    print(format_series_table(capacities, bundle["max_motional_energy"],
+                              title="Figure 6f: max motional energy (quanta)"))
+    print()
+    print(format_series_table(capacities, bundle["supremacy_error"],
+                              title="Figure 6g: Supremacy MS error contributions",
+                              value_format="{:.3e}"))
+
+    print()
+    print(ascii_line_chart(list(capacities), bundle["fidelity"],
+                           title="Application fidelity vs trap capacity"))
+
+    print()
+    print("Headline observations:")
+    for name, series in bundle["fidelity"].items():
+        ratio = best_worst_ratio(series)
+        best = crossover_capacity(list(capacities), series)
+        print(f"  {name:12s} best/worst fidelity ratio {ratio:8.1f}x, "
+              f"best capacity {best}")
+
+
+if __name__ == "__main__":
+    main()

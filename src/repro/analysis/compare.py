@@ -1,0 +1,75 @@
+"""Headline comparisons the paper quotes in prose.
+
+Section IX/X summarise the sweeps with a handful of ratios: best-versus-worst
+fidelity over the capacity sweep (15x for Supremacy), grid-versus-linear
+fidelity (up to 7000x for SquareRoot), the best gate choice improvement (up to
+9x over AM1) and GS-versus-IS.  These helpers compute those ratios from the
+figure bundles so EXPERIMENTS.md can record paper-versus-measured values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """Ratio guarded against a zero denominator (returns ``inf``)."""
+
+    if denominator <= 0.0:
+        return float("inf") if numerator > 0.0 else 1.0
+    return numerator / denominator
+
+
+def best_worst_ratio(series: Sequence[float]) -> float:
+    """max(series) / min(series); how much a sweep axis matters."""
+
+    values = [value for value in series if value is not None]
+    if not values:
+        return 1.0
+    return _safe_ratio(max(values), min(values))
+
+
+def topology_fidelity_ratio(fidelity_by_topology: Dict[str, Sequence[float]],
+                            better: str, worse: str) -> float:
+    """Largest per-capacity fidelity ratio of ``better`` over ``worse``."""
+
+    best = 1.0
+    for value_better, value_worse in zip(fidelity_by_topology[better],
+                                         fidelity_by_topology[worse]):
+        best = max(best, _safe_ratio(value_better, value_worse))
+    return best
+
+
+def gate_choice_improvement(fidelity_by_combo: Dict[str, Sequence[float]],
+                            best_gate: str, baseline_gate: str,
+                            reorder: str = "GS") -> float:
+    """Largest per-capacity fidelity ratio of one gate choice over another."""
+
+    best_series = fidelity_by_combo[f"{best_gate}-{reorder}"]
+    base_series = fidelity_by_combo[f"{baseline_gate}-{reorder}"]
+    best = 1.0
+    for value_best, value_base in zip(best_series, base_series):
+        best = max(best, _safe_ratio(value_best, value_base))
+    return best
+
+
+def reorder_fidelity_ratio(fidelity_by_combo: Dict[str, Sequence[float]],
+                           gate: str = "FM") -> float:
+    """Largest per-capacity fidelity ratio of GS over IS for one gate choice."""
+
+    gs_series = fidelity_by_combo[f"{gate}-GS"]
+    is_series = fidelity_by_combo[f"{gate}-IS"]
+    best = 1.0
+    for value_gs, value_is in zip(gs_series, is_series):
+        best = max(best, _safe_ratio(value_gs, value_is))
+    return best
+
+
+def crossover_capacity(capacities: Sequence[int], series: Sequence[float]) -> int:
+    """Capacity at which ``series`` peaks (the paper's 15-25 ion sweet spot)."""
+
+    values = list(series)
+    if not values:
+        raise ValueError("empty series")
+    best_index = max(range(len(values)), key=lambda index: values[index])
+    return capacities[best_index]

@@ -1,0 +1,48 @@
+"""NISQ application benchmarks (paper Table II).
+
+Six applications drive the paper's evaluation; each is generated here from
+scratch with the qubit counts and communication patterns of Table II:
+
+==============  ======  ==============  ==========================
+Application     Qubits  Two-qubit gates Communication pattern
+==============  ======  ==============  ==========================
+Supremacy       64      560             Nearest-neighbour (2D grid)
+QAOA            64      1260            Nearest-neighbour (ring/line)
+SquareRoot      78      ~1028           Short and long range
+QFT             64      4032            All distances
+Adder           64      ~545            Short range
+BV              64      63              Short and long range
+==============  ======  ==============  ==========================
+
+Every generator returns a :class:`~repro.ir.circuit.Circuit` already lowered
+to single-qubit rotations plus MS-class two-qubit gates, so Table II's
+"two-qubit gates" column equals ``circuit.num_two_qubit_gates``.
+"""
+
+from repro.apps.qft import qft_circuit
+from repro.apps.bv import bernstein_vazirani_circuit
+from repro.apps.adder import cuccaro_adder_circuit
+from repro.apps.qaoa import qaoa_circuit
+from repro.apps.supremacy import supremacy_circuit
+from repro.apps.squareroot import squareroot_circuit
+from repro.apps.suite import (
+    APPLICATION_NAMES,
+    build_application,
+    table2_suite,
+    scaled_suite,
+    application_summary,
+)
+
+__all__ = [
+    "qft_circuit",
+    "bernstein_vazirani_circuit",
+    "cuccaro_adder_circuit",
+    "qaoa_circuit",
+    "supremacy_circuit",
+    "squareroot_circuit",
+    "APPLICATION_NAMES",
+    "build_application",
+    "table2_suite",
+    "scaled_suite",
+    "application_summary",
+]

@@ -1,0 +1,84 @@
+"""Ripple-carry adder benchmark (Cuccaro et al.).
+
+The Cuccaro ripple-carry adder computes ``b := a + b`` on two ``n``-bit
+registers using one carry-in ancilla and one carry-out qubit, for a total of
+``2n + 2`` qubits; ``n = 31`` gives the paper's 64-qubit instance.  All
+interactions are between neighbouring register positions, producing the
+"short range gates" communication pattern of Table II.
+
+The MAJ/UMA blocks use Toffoli gates, decomposed into six CX gates each, so
+the two-qubit gate count is ``16n + 1`` (497 for n = 31; the paper reports 545
+for its ScaffCC-generated instance -- same order, same pattern).
+"""
+
+from __future__ import annotations
+
+from repro.apps._decompositions import toffoli
+from repro.ir.circuit import Circuit
+
+
+def _maj(circuit: Circuit, carry: int, b: int, a: int) -> None:
+    """Majority block of the Cuccaro adder."""
+
+    circuit.add("cx", a, b)
+    circuit.add("cx", a, carry)
+    toffoli(circuit, carry, b, a)
+
+
+def _uma(circuit: Circuit, carry: int, b: int, a: int) -> None:
+    """Unmajority-and-add block of the Cuccaro adder."""
+
+    toffoli(circuit, carry, b, a)
+    circuit.add("cx", a, carry)
+    circuit.add("cx", carry, b)
+
+
+def cuccaro_adder_circuit(num_qubits: int = 64) -> Circuit:
+    """Build the ripple-carry adder benchmark.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total qubit count; must be even and at least 6.  The register width is
+        ``(num_qubits - 2) // 2``.
+
+    Qubit layout: ``[carry_in, a0, b0, a1, b1, ..., a_{n-1}, b_{n-1}, carry_out]``
+    with interleaved registers so that every MAJ/UMA block touches adjacent
+    indices (short-range communication).
+    """
+
+    if num_qubits < 6:
+        raise ValueError("the adder needs at least 6 qubits")
+    if num_qubits % 2 != 0:
+        raise ValueError("the adder needs an even number of qubits (2n + 2)")
+    width = (num_qubits - 2) // 2
+
+    circuit = Circuit(num_qubits, name=f"adder{num_qubits}")
+    carry_in = 0
+    carry_out = num_qubits - 1
+
+    def a_qubit(i: int) -> int:
+        return 1 + 2 * i
+
+    def b_qubit(i: int) -> int:
+        return 2 + 2 * i
+
+    # Put the input registers in a non-trivial state so the circuit is not a
+    # pure identity (the architectural study only cares about gate structure).
+    for i in range(width):
+        circuit.add("h", a_qubit(i))
+        circuit.add("h", b_qubit(i))
+
+    # Forward MAJ chain.
+    _maj(circuit, carry_in, b_qubit(0), a_qubit(0))
+    for i in range(1, width):
+        _maj(circuit, a_qubit(i - 1), b_qubit(i), a_qubit(i))
+
+    # Carry out.
+    circuit.add("cx", a_qubit(width - 1), carry_out)
+
+    # Backward UMA chain.
+    for i in range(width - 1, 0, -1):
+        _uma(circuit, a_qubit(i - 1), b_qubit(i), a_qubit(i))
+    _uma(circuit, carry_in, b_qubit(0), a_qubit(0))
+    return circuit

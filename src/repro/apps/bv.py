@@ -1,0 +1,59 @@
+"""Bernstein-Vazirani benchmark.
+
+BV recovers a hidden bit string with a single oracle query.  The circuit uses
+``n - 1`` data qubits plus one ancilla (64 qubits total by default); the
+oracle applies a CX from every data qubit whose secret bit is 1 onto the
+ancilla, producing the "short and long-range gates" pattern of Table II
+(every data qubit talks to the one ancilla at the far end).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.circuit import Circuit
+
+
+def bernstein_vazirani_circuit(num_qubits: int = 64,
+                               secret: Optional[Sequence[int]] = None) -> Circuit:
+    """Build the BV benchmark.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total qubits including the ancilla (64 in the paper).
+    secret:
+        The hidden bit string over the ``num_qubits - 1`` data qubits.
+        Defaults to all ones, which maximises the two-qubit gate count
+        (``num_qubits - 1`` CX gates).
+    """
+
+    if num_qubits < 2:
+        raise ValueError("BV needs at least 2 qubits (1 data + 1 ancilla)")
+    num_data = num_qubits - 1
+    if secret is None:
+        secret = [1] * num_data
+    secret = list(secret)
+    if len(secret) != num_data:
+        raise ValueError(f"secret must have {num_data} bits, got {len(secret)}")
+    if any(bit not in (0, 1) for bit in secret):
+        raise ValueError("secret must be a bit string")
+
+    ancilla = num_data
+    circuit = Circuit(num_qubits, name=f"bv{num_qubits}")
+
+    # Prepare the ancilla in |-> and the data register in uniform superposition.
+    circuit.add("x", ancilla)
+    circuit.add("h", ancilla)
+    for qubit in range(num_data):
+        circuit.add("h", qubit)
+
+    # Oracle: phase kickback through CX for every 1 bit of the secret.
+    for qubit, bit in enumerate(secret):
+        if bit:
+            circuit.add("cx", qubit, ancilla)
+
+    # Undo the data-register Hadamards; the secret is now in the data register.
+    for qubit in range(num_data):
+        circuit.add("h", qubit)
+    return circuit

@@ -1,0 +1,42 @@
+"""Quantum Fourier Transform benchmark.
+
+The QFT on ``n`` qubits applies a Hadamard to each qubit followed by
+controlled-phase rotations between every pair, giving the all-to-all
+communication pattern of Table II ("All distances, 64*63 gates").  Each
+controlled phase is decomposed into two CX gates, so the two-qubit gate count
+is exactly ``n * (n - 1)`` -- 4032 for the paper's 64-qubit instance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps._decompositions import controlled_phase
+from repro.ir.circuit import Circuit
+
+
+def qft_circuit(num_qubits: int = 64, *, with_swaps: bool = False) -> Circuit:
+    """Build the QFT benchmark.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits (64 in the paper).
+    with_swaps:
+        Append the final qubit-reversal SWAP network.  The paper's gate count
+        (64*63) corresponds to the QFT body only, so this defaults to False.
+    """
+
+    if num_qubits < 2:
+        raise ValueError("QFT needs at least 2 qubits")
+    circuit = Circuit(num_qubits, name=f"qft{num_qubits}")
+    for target in range(num_qubits):
+        circuit.add("h", target)
+        for control_offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            theta = 2.0 * math.pi / (2 ** control_offset)
+            controlled_phase(circuit, theta, control, target)
+    if with_swaps:
+        for left in range(num_qubits // 2):
+            right = num_qubits - 1 - left
+            circuit.add("swap", left, right)
+    return circuit

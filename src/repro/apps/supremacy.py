@@ -1,0 +1,86 @@
+"""Quantum-supremacy-style random circuit benchmark.
+
+Google's supremacy experiment ran random circuits on a 2D grid of qubits with
+alternating patterns of nearest-neighbour two-qubit gates interleaved with
+random single-qubit gates [5, 82].  The paper's instance has 64 qubits (an
+8x8 grid) and 560 two-qubit gates with a nearest-neighbour pattern.
+
+We reproduce that structure: each cycle applies random single-qubit gates from
+{sqrt(X), sqrt(Y), T} to every qubit and one of four two-qubit patterns
+(horizontal/vertical, even/odd offset).  Twenty cycles over an 8x8 grid give
+exactly 560 entangling gates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.ir.circuit import Circuit
+
+#: Single-qubit gate choices applied between entangling cycles.
+_SINGLE_QUBIT_CHOICES = (("rx", math.pi / 2), ("ry", math.pi / 2), ("rz", math.pi / 4))
+
+
+def _grid_shape(num_qubits: int) -> Tuple[int, int]:
+    """Pick the most square grid for ``num_qubits``."""
+
+    best = (1, num_qubits)
+    for rows in range(1, int(math.isqrt(num_qubits)) + 1):
+        if num_qubits % rows == 0:
+            best = (rows, num_qubits // rows)
+    return best
+
+
+def _pattern_pairs(rows: int, cols: int, pattern: int) -> List[Tuple[int, int]]:
+    """Qubit pairs activated by one of the four coupling patterns."""
+
+    pairs: List[Tuple[int, int]] = []
+    horizontal = pattern in (0, 2)
+    offset = 0 if pattern in (0, 1) else 1
+    if horizontal:
+        for row in range(rows):
+            for col in range(offset, cols - 1, 2):
+                pairs.append((row * cols + col, row * cols + col + 1))
+    else:
+        for col in range(cols):
+            for row in range(offset, rows - 1, 2):
+                pairs.append((row * cols + col, (row + 1) * cols + col))
+    return pairs
+
+
+def supremacy_circuit(num_qubits: int = 64, cycles: int = 20, *,
+                      seed: int = 2020) -> Circuit:
+    """Build the random-circuit benchmark.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits; arranged on the most square grid that fits
+        (8x8 for 64).
+    cycles:
+        Number of entangling cycles (20 gives 560 two-qubit gates on 8x8).
+    seed:
+        Seed of the RNG used to draw single-qubit gates, so the circuit is
+        deterministic for a given parameter set.
+    """
+
+    if num_qubits < 4:
+        raise ValueError("the supremacy circuit needs at least 4 qubits")
+    if cycles < 1:
+        raise ValueError("cycles must be positive")
+    rows, cols = _grid_shape(num_qubits)
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"supremacy{num_qubits}x{cycles}")
+
+    for qubit in range(num_qubits):
+        circuit.add("h", qubit)
+
+    for cycle in range(cycles):
+        for qubit in range(num_qubits):
+            name, angle = rng.choice(_SINGLE_QUBIT_CHOICES)
+            circuit.add(name, qubit, params=(angle,))
+        for qubit_a, qubit_b in _pattern_pairs(rows, cols, cycle % 4):
+            circuit.add("cz", qubit_a, qubit_b)
+    return circuit

@@ -1,0 +1,208 @@
+"""Command-line interface for the QCCD design toolflow.
+
+The CLI mirrors the Python API for the common workflows so that device
+designers can explore configurations without writing scripts::
+
+    python -m repro info
+    python -m repro table1
+    python -m repro table2
+    python -m repro run --app QAOA --topology L6 --capacity 20 --gate FM --reorder GS
+    python -m repro sweep --figure 6 --small --output fig6.json
+    python -m repro device --topology G2x3 --capacity 20
+
+Every subcommand prints human-readable text; ``--output`` additionally writes
+the underlying data as JSON (via :mod:`repro.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.breakdown import error_contributions, time_breakdown
+from repro.apps import APPLICATION_NAMES, build_application, scaled_suite, table2_suite
+from repro.io import figure_bundle_to_dict, result_to_dict, save_json
+from repro.models.shuttle_times import format_table1
+from repro.toolflow import ArchitectureConfig, figure6, figure7, figure8, run_experiment
+from repro.toolflow.tables import format_table2_text
+from repro.visualize import device_report
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="L6",
+                        help="device topology name, e.g. L6, G2x3, R8 (default: L6)")
+    parser.add_argument("--capacity", type=int, default=20,
+                        help="ions per trap (default: 20)")
+    parser.add_argument("--gate", default="FM", choices=["AM1", "AM2", "PM", "FM"],
+                        help="two-qubit gate implementation (default: FM)")
+    parser.add_argument("--reorder", default="GS", choices=["GS", "IS"],
+                        help="chain reordering method (default: GS)")
+    parser.add_argument("--buffer", type=int, default=2,
+                        help="buffer slots per trap for incoming shuttles (default: 2)")
+
+
+def _config_from_args(args) -> ArchitectureConfig:
+    return ArchitectureConfig(topology=args.topology, trap_capacity=args.capacity,
+                              gate=args.gate, reorder=args.reorder,
+                              buffer_ions=args.buffer)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QCCDSim: design toolflow for QCCD trapped-ion quantum computers",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("info", help="summarise the toolflow and its models")
+    subparsers.add_parser("table1", help="print the shuttling operation times (Table I)")
+
+    table2 = subparsers.add_parser("table2", help="print the benchmark suite (Table II)")
+    table2.add_argument("--small", action="store_true",
+                        help="use the reduced 16-qubit suite")
+
+    run = subparsers.add_parser("run", help="compile and simulate one application")
+    run.add_argument("--app", required=True, choices=list(APPLICATION_NAMES),
+                     help="application name from Table II")
+    run.add_argument("--qubits", type=int, default=None,
+                     help="override the application size (total qubits)")
+    run.add_argument("--output", default=None, help="write the result as JSON")
+    _add_config_arguments(run)
+
+    sweep = subparsers.add_parser("sweep", help="regenerate a figure's data series")
+    sweep.add_argument("--figure", required=True, type=int, choices=[6, 7, 8],
+                       help="paper figure number to regenerate")
+    sweep.add_argument("--small", action="store_true",
+                       help="use the reduced suite and a short capacity sweep")
+    sweep.add_argument("--output", default=None, help="write the series as JSON")
+
+    device = subparsers.add_parser("device", help="describe a candidate device")
+    device.add_argument("--qubits", type=int, default=None,
+                        help="ions to load (default: usable capacity)")
+    _add_config_arguments(device)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_info() -> int:
+    print(f"QCCDSim {__version__} -- reproduction of Murali et al., ISCA 2020")
+    print()
+    print("Applications:", ", ".join(APPLICATION_NAMES))
+    print("Topologies  : L<n> (linear), G<r>x<c> (grid), R<n> (ring), or custom")
+    print("Gates       : AM1, AM2, PM, FM Molmer-Sorensen implementations")
+    print("Reordering  : GS (gate-based swapping), IS (physical ion swapping)")
+    print()
+    print("Typical workflow: `python -m repro run --app QAOA --topology L6 --capacity 20`")
+    return 0
+
+
+def _cmd_table1() -> int:
+    print(format_table1())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    suite = scaled_suite(16) if args.small else table2_suite()
+    print(format_table2_text(suite))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    circuit = build_application(args.app, num_qubits=args.qubits)
+    config = _config_from_args(args)
+    print(f"Application : {circuit.name} ({circuit.num_qubits} qubits, "
+          f"{circuit.num_two_qubit_gates} two-qubit gates)")
+    print(f"Architecture: {config.name}")
+    record = run_experiment(circuit, config)
+    result = record.result
+    print()
+    print(f"Execution time      : {result.duration_seconds:.4f} s")
+    breakdown = time_breakdown(result)
+    print(f"  computation       : {breakdown['computation_s']:.4f} s")
+    print(f"  communication     : {breakdown['communication_s']:.4f} s "
+          f"({100 * breakdown['communication_fraction']:.1f}%)")
+    print(f"Application fidelity: {result.fidelity:.4e}")
+    errors = error_contributions(result)
+    print(f"Mean MS gate error  : {errors['total']:.3e} "
+          f"(motional {errors['motional']:.3e}, background {errors['background']:.3e})")
+    print(f"Shuttles            : {record.num_shuttles}")
+    print(f"Max motional energy : {result.max_motional_energy:.2f} quanta")
+    if args.output:
+        path = save_json(result_to_dict(result), args.output)
+        print(f"\nWrote JSON result to {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.small:
+        suite = scaled_suite(16)
+        capacities = (6, 8, 10)
+        base_linear = ArchitectureConfig(topology="L4")
+        topologies = ("L4", "G2x2")
+    else:
+        suite = table2_suite()
+        capacities = (14, 18, 22, 26, 30, 34)
+        base_linear = ArchitectureConfig(topology="L6")
+        topologies = ("L6", "G2x3")
+
+    if args.figure == 6:
+        bundle = figure6(suite, capacities=capacities,
+                         base=base_linear.with_updates(gate="FM", reorder="GS"))
+        series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
+    elif args.figure == 7:
+        bundle = figure7(suite, capacities=capacities, topologies=topologies)
+        series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
+    else:
+        bundle = figure8(suite, capacities=capacities, base=base_linear)
+        series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
+
+    print(f"Figure {args.figure} series over capacities {list(capacities)}:")
+    for metric, per_app in series.items():
+        print(f"\n[{metric}]")
+        for app, values in per_app.items():
+            print(f"  {app:12s} {values}")
+    if args.output:
+        path = save_json(figure_bundle_to_dict(bundle), args.output)
+        print(f"\nWrote JSON bundle to {path}")
+    return 0
+
+
+def _cmd_device(args) -> int:
+    config = _config_from_args(args)
+    device = config.build_device(args.qubits)
+    print(device_report(device))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "table2":
+        return _cmd_table2(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "device":
+        return _cmd_device(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

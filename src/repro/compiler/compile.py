@@ -1,0 +1,212 @@
+"""Top-level compilation pass: circuit + device -> QCCDProgram.
+
+The pass follows Section VI of the paper:
+
+1. lower the circuit to the trapped-ion native gate set;
+2. map program qubits onto traps with the selected heuristic;
+3. walk the dependency DAG in earliest-ready-gate-first order;
+4. for each two-qubit gate whose operands live in different traps, plan the
+   communication (which qubit moves, evictions if the target trap is full) and
+   emit the shuttle primitives, inserting chain-reordering operations where
+   the departing state is not at the correct chain end;
+5. emit the gate itself, annotated with the chain length and ion separation
+   the simulator needs to evaluate the performance and fidelity models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler.builder import ProgramBuilder
+from repro.compiler.mapping import MAPPING_STRATEGIES
+from repro.compiler.placement_state import PlacementState
+from repro.compiler.routing import Router
+from repro.compiler.scheduler import GateScheduler
+from repro.compiler.shuttle import emit_shuttle
+from repro.hardware.device import QCCDDevice
+from repro.ir.circuit import Circuit
+from repro.ir.gate import Gate, GateKind
+from repro.isa.program import QCCDProgram
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs of the compilation pass.
+
+    Attributes
+    ----------
+    mapping:
+        Initial mapping strategy: ``"greedy"`` (the paper's heuristic),
+        ``"round_robin"`` or ``"interaction_aware"``.
+    routing:
+        Shuttle direction policy: ``"affinity"`` (default; move the operand
+        whose interactions pull it toward the destination), ``"space"`` or
+        ``"fixed"`` (see :mod:`repro.compiler.routing`).
+    lower_to_native:
+        Whether to rewrite SWAP gates into three MS-class gates before
+        compiling (the paper's IR is already in the native set).
+    validate:
+        Run the placement-state consistency checks after compilation.
+    """
+
+    mapping: str = "greedy"
+    routing: str = "affinity"
+    lower_to_native: bool = True
+    validate: bool = True
+
+    def mapping_fn(self):
+        """Resolve the mapping strategy name to its implementation."""
+
+        try:
+            return MAPPING_STRATEGIES[self.mapping]
+        except KeyError:
+            valid = ", ".join(sorted(MAPPING_STRATEGIES))
+            raise ValueError(f"unknown mapping strategy {self.mapping!r}; expected one of {valid}")
+
+
+class _NextUseTracker:
+    """Answers "when is this qubit needed next?" for the eviction policy."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self._uses: Dict[int, List[int]] = {}
+        for index, gate in enumerate(circuit.gates):
+            if gate.kind is GateKind.TWO_QUBIT:
+                for qubit in gate.qubits:
+                    self._uses.setdefault(qubit, []).append(index)
+        self._pointers: Dict[int, int] = {qubit: 0 for qubit in self._uses}
+        self._emitted: set = set()
+
+    def mark_emitted(self, gate_index: int) -> None:
+        """Record that a gate has been compiled."""
+
+        self._emitted.add(gate_index)
+
+    def next_use(self, qubit: int) -> Optional[int]:
+        """Index of the next *uncompiled* two-qubit gate using ``qubit``."""
+
+        uses = self._uses.get(qubit)
+        if not uses:
+            return None
+        pointer = self._pointers[qubit]
+        while pointer < len(uses) and uses[pointer] in self._emitted:
+            pointer += 1
+        self._pointers[qubit] = pointer
+        return uses[pointer] if pointer < len(uses) else None
+
+
+def compile_circuit(circuit: Circuit, device: QCCDDevice,
+                    options: Optional[CompilerOptions] = None) -> QCCDProgram:
+    """Compile ``circuit`` for ``device`` and return the executable program."""
+
+    options = options or CompilerOptions()
+    if options.lower_to_native:
+        circuit = circuit.lowered()
+    if circuit.num_qubits > device.num_qubits:
+        raise ValueError(
+            f"circuit uses {circuit.num_qubits} qubits but the device only loads "
+            f"{device.num_qubits} ions"
+        )
+
+    state: PlacementState = options.mapping_fn()(circuit, device)
+    placement = state.snapshot_placement()
+    builder = ProgramBuilder()
+    next_use = _NextUseTracker(circuit)
+    router = Router(state, device, next_use=next_use.next_use,
+                    interaction_weights=circuit.interaction_counts(),
+                    policy=options.routing)
+
+    def is_local(gate_index: int) -> bool:
+        gate = circuit[gate_index]
+        if gate.kind is not GateKind.TWO_QUBIT:
+            return True
+        trap_a = state.trap_of_qubit(gate.qubits[0])
+        trap_b = state.trap_of_qubit(gate.qubits[1])
+        return trap_a == trap_b
+
+    scheduler = GateScheduler(circuit, is_local=is_local)
+    while not scheduler.done():
+        index = scheduler.next_gate()
+        _emit_gate(circuit[index], builder, state, device, router)
+        next_use.mark_emitted(index)
+        scheduler.mark_done(index)
+
+    if options.validate:
+        state.validate()
+
+    program = QCCDProgram(
+        operations=builder.operations,
+        placement=placement,
+        circuit_name=circuit.name,
+        device_name=device.name,
+        metadata={
+            "num_program_qubits": circuit.num_qubits,
+            "num_circuit_two_qubit_gates": circuit.num_two_qubit_gates,
+            "mapping": options.mapping,
+            "gate": device.gate.value,
+            "reorder": device.reorder.value,
+        },
+    )
+    if options.validate:
+        program.validate()
+    return program
+
+
+# --------------------------------------------------------------------------- #
+def _emit_gate(gate: Gate, builder: ProgramBuilder, state: PlacementState,
+               device: QCCDDevice, router: Router) -> None:
+    """Emit one IR gate (plus any communication it needs)."""
+
+    kind = gate.kind
+    if kind is GateKind.BARRIER:
+        return
+    if kind is GateKind.SINGLE_QUBIT:
+        _emit_single_qubit(gate, builder, state)
+        return
+    if kind is GateKind.MEASUREMENT:
+        _emit_measurement(gate, builder, state)
+        return
+    _emit_two_qubit(gate, builder, state, device, router)
+
+
+def _emit_single_qubit(gate: Gate, builder: ProgramBuilder, state: PlacementState) -> None:
+    qubit = gate.qubits[0]
+    trap = state.trap_of_qubit(qubit)
+    ion = state.ion_of_qubit(qubit)
+    builder.gate(trap=trap, ions=(ion,), qubits=(qubit,), name=gate.name,
+                 chain_length=len(state.chain(trap)))
+
+
+def _emit_measurement(gate: Gate, builder: ProgramBuilder, state: PlacementState) -> None:
+    qubit = gate.qubits[0]
+    trap = state.trap_of_qubit(qubit)
+    ion = state.ion_of_qubit(qubit)
+    builder.measure(trap=trap, ion=ion, qubit=qubit)
+
+
+def _emit_two_qubit(gate: Gate, builder: ProgramBuilder, state: PlacementState,
+                    device: QCCDDevice, router: Router) -> None:
+    qubit_a, qubit_b = gate.qubits
+    plan = router.plan_two_qubit_gate(qubit_a, qubit_b)
+    if plan is not None:
+        for request in plan.all_shuttles:
+            emit_shuttle(builder, state, device, request.qubit, request.destination)
+
+    trap = state.trap_of_qubit(qubit_a)
+    other = state.trap_of_qubit(qubit_b)
+    if trap != other:
+        raise RuntimeError(
+            f"router failed to co-locate qubits {qubit_a} and {qubit_b} "
+            f"({trap} vs {other})"
+        )
+    chain = state.chain(trap)
+    ion_a = state.ion_of_qubit(qubit_a)
+    ion_b = state.ion_of_qubit(qubit_b)
+    builder.gate(
+        trap=trap,
+        ions=(ion_a, ion_b),
+        qubits=(qubit_a, qubit_b),
+        name=gate.name,
+        chain_length=len(chain),
+        ion_distance=chain.distance_between(ion_a, ion_b),
+    )

@@ -1,0 +1,98 @@
+"""Gate scheduling order: earliest ready gate first (paper Section VI).
+
+The scheduler walks the circuit's dependency DAG and repeatedly picks a gate
+whose predecessors have all been emitted.  Among ready gates it prefers
+
+1. gates that are *local* (both operands already co-located in one trap) --
+   they cost no communication and executing them first cannot increase the
+   shuttle count of the remaining gates;
+2. earlier program order (the "earliest ready gate").
+
+The preference function is injected so the compile loop can describe locality
+against its live placement state without the scheduler importing it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Set
+
+from repro.ir.circuit import Circuit
+from repro.ir.dag import DependencyDAG
+
+
+class GateScheduler:
+    """Iterator over gate indices in earliest-ready-gate-first order."""
+
+    def __init__(self, circuit: Circuit,
+                 is_local: Optional[Callable[[int], bool]] = None) -> None:
+        self.circuit = circuit
+        self.dag = DependencyDAG(circuit)
+        self._is_local = is_local or (lambda index: True)
+        self._remaining_preds = self.dag.in_degrees()
+        self._ready: List[int] = [i for i, deg in enumerate(self._remaining_preds) if deg == 0]
+        heapq.heapify(self._ready)
+        self._emitted: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    def __bool__(self) -> bool:
+        return bool(self._ready)
+
+    @property
+    def num_emitted(self) -> int:
+        """Gates already handed out."""
+
+        return len(self._emitted)
+
+    def done(self) -> bool:
+        """Whether every gate has been scheduled."""
+
+        return len(self._emitted) == self.dag.num_gates
+
+    def ready_gates(self) -> List[int]:
+        """Currently ready gate indices, in program order."""
+
+        return sorted(self._ready)
+
+    def next_gate(self) -> int:
+        """Pop the next gate to compile.
+
+        Local ready gates are preferred; ties broken by program order.  The
+        scan over the ready list is linear, which is fine because the ready
+        list stays small (bounded by circuit width).
+        """
+
+        if not self._ready:
+            raise RuntimeError("no ready gates; scheduling is complete or stuck")
+        ready_sorted = sorted(self._ready)
+        chosen = None
+        for index in ready_sorted:
+            if self._is_local(index):
+                chosen = index
+                break
+        if chosen is None:
+            chosen = ready_sorted[0]
+        self._ready.remove(chosen)
+        heapq.heapify(self._ready)
+        return chosen
+
+    def mark_done(self, index: int) -> None:
+        """Record that ``index`` has been emitted; unlock its successors."""
+
+        if index in self._emitted:
+            raise ValueError(f"gate {index} already marked done")
+        self._emitted.add(index)
+        for successor in self.dag.successors(index):
+            self._remaining_preds[successor] -= 1
+            if self._remaining_preds[successor] == 0:
+                heapq.heappush(self._ready, successor)
+
+    def schedule(self) -> List[int]:
+        """Convenience: the full schedule as a list of gate indices."""
+
+        order = []
+        while not self.done():
+            index = self.next_gate()
+            order.append(index)
+            self.mark_done(index)
+        return order

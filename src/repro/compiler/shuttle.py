@@ -1,0 +1,86 @@
+"""Shuttle emission: move one qubit's state from its trap to a destination trap.
+
+A shuttle is lowered to the primitive sequence of Figure 2d / Figure 4:
+
+1. reorder the departing qubit to the chain end facing the outgoing segment,
+2. split it off the source chain,
+3. move it segment by segment, crossing junctions where paths branch and
+   passing *through* intermediate traps in linear topologies (merge, reorder
+   to the far end, split again),
+4. merge it into the destination chain at the end facing the incoming segment.
+
+The placement state is updated as operations are emitted so that the compiler
+always sees the machine exactly as the simulator will replay it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.builder import ProgramBuilder
+from repro.compiler.placement_state import PlacementState
+from repro.compiler.reorder import reorder_to_end
+from repro.hardware.device import QCCDDevice
+
+
+def _node_sequence(device: QCCDDevice, source: str, destination: str) -> List[str]:
+    """Nodes visited by the shortest path, source and destination included."""
+
+    path = device.topology.shortest_path(source, destination)
+    nodes = [source]
+    for segment in path.segments:
+        nodes.append(segment.other_end(nodes[-1]))
+    return nodes
+
+
+def emit_shuttle(builder: ProgramBuilder, state: PlacementState, device: QCCDDevice,
+                 qubit: int, destination: str) -> None:
+    """Emit every primitive needed to bring ``qubit`` into trap ``destination``."""
+
+    topology = device.topology
+    source = state.trap_of_qubit(qubit)
+    if source is None:
+        raise ValueError(f"qubit {qubit} is in transit; cannot start a new shuttle")
+    if source == destination:
+        return
+    if state.free_space(destination) <= 0:
+        raise ValueError(
+            f"destination trap {destination} is full; the router must evict first"
+        )
+
+    nodes = _node_sequence(device, source, destination)
+
+    # Depart: reorder to the exit end, then split.
+    exit_side = topology.port_side(source, nodes[1])
+    reorder_to_end(builder, state, device, qubit, source, exit_side)
+    ion = state.ion_of_qubit(qubit)
+    builder.split(trap=source, ion=ion, chain_size=len(state.chain(source)), side=exit_side)
+    state.split(source, ion)
+
+    # Travel node by node.
+    for index in range(1, len(nodes)):
+        previous, node = nodes[index - 1], nodes[index]
+        segment = topology.segment_between(previous, node)
+        builder.move(ion=ion, segment=segment.name, length=segment.length,
+                     from_node=previous, to_node=node)
+
+        if index == len(nodes) - 1:
+            entry_side = topology.port_side(destination, previous)
+            builder.merge(trap=destination, ion=ion, side=entry_side)
+            state.merge(destination, ion, entry_side)
+        elif topology.is_trap(node):
+            # Pass-through trap (linear topologies, Figure 4): merge, bring the
+            # state to the far end, split back out.  The chain may transiently
+            # hold capacity+1 ions while the travelling ion is inside.
+            entry_side = topology.port_side(node, previous)
+            next_side = topology.port_side(node, nodes[index + 1])
+            builder.merge(trap=node, ion=ion, side=entry_side)
+            state.merge(node, ion, entry_side, allow_overfill=True)
+            reorder_to_end(builder, state, device, qubit, node, next_side)
+            ion = state.ion_of_qubit(qubit)
+            builder.split(trap=node, ion=ion, chain_size=len(state.chain(node)),
+                          side=next_side)
+            state.split(node, ion)
+        else:
+            junction = topology.junction(node)
+            builder.cross_junction(ion=ion, junction=junction.name, degree=junction.degree)

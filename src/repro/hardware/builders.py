@@ -1,0 +1,157 @@
+"""Constructors for the device topologies evaluated in the paper.
+
+Two concrete topologies appear in the evaluation (Section VIII.B):
+
+* ``L6`` -- six traps in a line (the topology of Honeywell's QCCD system);
+  adjacent traps are joined by a single segment and there are no junctions.
+  Shuttles between non-adjacent traps must pass *through* the intermediate
+  traps (Figure 4).
+* ``G2x3`` -- six traps in a 2x3 grid (generalising Figure 2b): each column
+  has a junction connected to the column's traps, and the junctions are joined
+  along the row.  End-column junctions are 3-way (Y), interior ones 4-way (X).
+
+Both generalise: ``linear_topology(n)`` and ``grid_topology(rows, cols)``;
+``ring_topology(n)`` is provided as an extension point for ablations.
+
+:func:`build_device` is the convenience entry point used throughout the
+examples and the toolflow: it accepts a topology name such as ``"L6"``,
+``"G2x3"`` or ``"R8"`` plus the architecture knobs and returns a ready
+:class:`~repro.hardware.device.QCCDDevice`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.hardware.device import QCCDDevice, ReorderMethod
+from repro.hardware.junction import Junction
+from repro.hardware.topology import Topology
+from repro.hardware.trap import Trap
+from repro.models.gate_times import GateImplementation
+from repro.models.params import PhysicalModel
+
+_LINEAR_RE = re.compile(r"^L(?P<n>\d+)$", re.IGNORECASE)
+_GRID_RE = re.compile(r"^G(?P<rows>\d+)X(?P<cols>\d+)$", re.IGNORECASE)
+_RING_RE = re.compile(r"^R(?P<n>\d+)$", re.IGNORECASE)
+
+
+def linear_topology(num_traps: int, trap_capacity: int) -> Topology:
+    """A line of ``num_traps`` traps joined by single segments (no junctions)."""
+
+    if num_traps < 1:
+        raise ValueError("need at least one trap")
+    topology = Topology(name=f"L{num_traps}")
+    for index in range(num_traps):
+        topology.add_trap(Trap(index, trap_capacity, position=(float(index), 0.0)))
+    for index in range(num_traps - 1):
+        topology.connect(f"T{index}", f"T{index + 1}")
+    topology.validate()
+    return topology
+
+
+def grid_topology(rows: int, cols: int, trap_capacity: int) -> Topology:
+    """A ``rows x cols`` grid of traps joined through per-column junctions.
+
+    Column ``c`` has junction ``Jc`` connected to every trap in that column;
+    junctions are chained along the row (J0-J1-...-J{cols-1}).  With two rows
+    this reproduces Figure 2b: end junctions have degree 3 (Y), interior
+    junctions degree 4 (X).
+    """
+
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if rows == 1 and cols == 1:
+        raise ValueError("a 1x1 grid is a single trap; use linear_topology(1, ...)")
+    topology = Topology(name=f"G{rows}x{cols}")
+    for row in range(rows):
+        for col in range(cols):
+            trap_id = row * cols + col
+            topology.add_trap(Trap(trap_id, trap_capacity,
+                                   position=(float(col), float(row))))
+    for col in range(cols):
+        # degree = one segment per trap in the column + links to neighbouring
+        # junctions (1 at the ends, 2 in the interior)
+        junction_links = (1 if cols > 1 else 0) if col in (0, cols - 1) else 2
+        if cols == 1:
+            junction_links = 0
+        degree = rows + junction_links
+        topology.add_junction(Junction(col, degree,
+                                       position=(float(col), (rows - 1) / 2.0)))
+        for row in range(rows):
+            trap_id = row * cols + col
+            topology.connect(f"T{trap_id}", f"J{col}")
+    for col in range(cols - 1):
+        topology.connect(f"J{col}", f"J{col + 1}")
+    topology.validate()
+    return topology
+
+
+def ring_topology(num_traps: int, trap_capacity: int) -> Topology:
+    """A ring of traps: like the linear topology but with wrap-around.
+
+    Not evaluated in the paper; provided for topology ablations.
+    """
+
+    if num_traps < 3:
+        raise ValueError("a ring needs at least 3 traps")
+    topology = Topology(name=f"R{num_traps}")
+    for index in range(num_traps):
+        topology.add_trap(Trap(index, trap_capacity, position=(float(index), 0.0)))
+    for index in range(num_traps):
+        topology.connect(f"T{index}", f"T{(index + 1) % num_traps}")
+    topology.validate()
+    return topology
+
+
+def make_topology(name: str, trap_capacity: int) -> Topology:
+    """Build a topology from a short name: ``L<n>``, ``G<r>x<c>`` or ``R<n>``."""
+
+    match = _LINEAR_RE.match(name)
+    if match:
+        return linear_topology(int(match.group("n")), trap_capacity)
+    match = _GRID_RE.match(name)
+    if match:
+        return grid_topology(int(match.group("rows")), int(match.group("cols")),
+                             trap_capacity)
+    match = _RING_RE.match(name)
+    if match:
+        return ring_topology(int(match.group("n")), trap_capacity)
+    raise ValueError(
+        f"unknown topology name {name!r}; expected 'L<n>', 'G<rows>x<cols>' or 'R<n>'"
+    )
+
+
+def build_device(topology: str = "L6", *, trap_capacity: int = 20,
+                 gate="FM", reorder="GS", num_qubits: Optional[int] = None,
+                 buffer_ions: int = 2,
+                 model: Optional[PhysicalModel] = None) -> QCCDDevice:
+    """Build a complete :class:`~repro.hardware.device.QCCDDevice`.
+
+    Parameters
+    ----------
+    topology:
+        Topology name (``"L6"``, ``"G2x3"``, ``"R8"``, ...).
+    trap_capacity:
+        Maximum ions per trap (the paper sweeps 14-34).
+    gate:
+        Two-qubit gate implementation: ``"AM1"``, ``"AM2"``, ``"PM"`` or ``"FM"``.
+    reorder:
+        Chain reordering method: ``"GS"`` or ``"IS"``.
+    num_qubits:
+        Ions to load (defaults to the device's usable capacity).
+    buffer_ions:
+        Free slots reserved per trap for incoming shuttles (default 2).
+    model:
+        Physical model parameters (defaults to the paper's values).
+    """
+
+    topo = make_topology(topology, trap_capacity)
+    return QCCDDevice(
+        topology=topo,
+        gate=GateImplementation.from_name(gate),
+        reorder=ReorderMethod.from_name(reorder),
+        model=model or PhysicalModel(),
+        num_qubits=num_qubits,
+        buffer_ions=buffer_ions,
+    )

@@ -1,0 +1,45 @@
+"""An individual trapped ion (one physical qubit).
+
+Ions are identified by a small integer.  The compiler assigns program qubits
+to ions; the placement state and the simulator track where each ion currently
+sits (which trap, which position in the chain) and how much motional energy it
+carries while in transit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Ion:
+    """A physical qubit: one ion in the device.
+
+    Attributes
+    ----------
+    ion_id:
+        Device-wide unique identifier.
+    species:
+        Ion species label; purely informational (the models assume hyperfine
+        qubits, e.g. Yb+ 171).
+    program_qubit:
+        The program qubit this ion currently holds, or ``None`` if it is a
+        spare/ancilla ion.  With gate-based swapping the quantum state (and
+        hence the program qubit) can move between ions.
+    """
+
+    ion_id: int
+    species: str = "Yb171"
+    program_qubit: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.ion_id < 0:
+            raise ValueError("ion_id must be non-negative")
+
+    def __hash__(self) -> int:
+        return hash(self.ion_id)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        holder = f"q{self.program_qubit}" if self.program_qubit is not None else "spare"
+        return f"ion{self.ion_id}({holder})"

@@ -1,0 +1,52 @@
+"""A junction where shuttling paths meet.
+
+Junctions let shuttling paths branch (grid topologies).  Crossing a junction
+-- including any turn -- takes longer than moving through a straight segment,
+and the time depends on the junction degree: three-way (Y) junctions are
+faster to cross than four-way (X) junctions (paper Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Junction:
+    """A branching point of the shuttling paths.
+
+    Attributes
+    ----------
+    junction_id:
+        Device-wide unique identifier.
+    degree:
+        Number of segments meeting at the junction (3 for Y, 4 for X).
+    name:
+        Node label used in the topology graph (e.g. ``"J1"``).
+    position:
+        Optional (x, y) coordinate used to decide which end of a trap's chain
+        a path toward this junction attaches to.
+    """
+
+    junction_id: int
+    degree: int
+    name: str = ""
+    position: Optional[Tuple[float, float]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.junction_id < 0:
+            raise ValueError("junction_id must be non-negative")
+        if self.degree < 2:
+            raise ValueError("a junction needs at least 2 incident segments")
+        if not self.name:
+            object.__setattr__(self, "name", f"J{self.junction_id}")
+
+    @property
+    def kind(self) -> str:
+        """``"Y"`` for 3-way junctions, ``"X"`` for 4-way and larger."""
+
+        return "Y" if self.degree <= 3 else "X"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.name}({self.kind}, degree={self.degree})"

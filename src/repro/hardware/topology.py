@@ -1,0 +1,327 @@
+"""Device communication topology: traps, junctions and segments as a graph.
+
+The topology answers the questions the compiler's router asks (Section VI):
+
+* what is the shortest shuttling path between two traps,
+* which segments and junctions does that path use (they become exclusive
+  resources during simulation),
+* which *intermediate traps* the path passes through -- in linear topologies a
+  shuttle that crosses a trap must merge into and split back out of that
+  trap's chain (Figure 4), which costs time and adds motional energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.hardware.junction import Junction
+from repro.hardware.segment import Segment
+from repro.hardware.trap import Trap
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of a shuttle path.
+
+    ``kind`` is one of ``"segment"``, ``"junction"`` or ``"trap"``:
+
+    * ``segment`` -- move through a straight segment (carries the Segment);
+    * ``junction`` -- cross a junction, including the turn (carries the
+      Junction);
+    * ``trap`` -- pass *through* an intermediate trap, which requires merging
+      into and splitting back out of its chain (carries the Trap).
+    """
+
+    kind: str
+    element: object
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("segment", "junction", "trap"):
+            raise ValueError(f"unknown path step kind: {self.kind!r}")
+
+    @property
+    def resource_name(self) -> str:
+        """Name of the exclusive resource this step occupies."""
+
+        return self.element.name
+
+
+@dataclass(frozen=True)
+class ShuttlePath:
+    """A planned route for one ion between two traps."""
+
+    source: str
+    destination: str
+    steps: Tuple[PathStep, ...] = field(default=())
+
+    @property
+    def segments(self) -> List[Segment]:
+        """Segments traversed, in order."""
+
+        return [s.element for s in self.steps if s.kind == "segment"]
+
+    @property
+    def junctions(self) -> List[Junction]:
+        """Junctions crossed, in order."""
+
+        return [s.element for s in self.steps if s.kind == "junction"]
+
+    @property
+    def intermediate_traps(self) -> List[Trap]:
+        """Traps passed through (merge + split required at each)."""
+
+        return [s.element for s in self.steps if s.kind == "trap"]
+
+    @property
+    def num_segments(self) -> int:
+        """Total elementary move steps (segment lengths summed)."""
+
+        return sum(seg.length for seg in self.segments)
+
+    @property
+    def num_junctions(self) -> int:
+        """Number of junction crossings."""
+
+        return len(self.junctions)
+
+    @property
+    def num_intermediate_traps(self) -> int:
+        """Number of traps the ion passes through."""
+
+        return len(self.intermediate_traps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class Topology:
+    """The device connectivity graph.
+
+    Nodes are trap and junction names; edges are segments.  The class wraps a
+    :class:`networkx.Graph` and keeps typed registries of the hardware
+    elements so that path planning can return real objects rather than labels.
+    """
+
+    def __init__(self, name: str = "custom") -> None:
+        self.name = name
+        self.graph = nx.Graph()
+        self._traps: Dict[str, Trap] = {}
+        self._junctions: Dict[str, Junction] = {}
+        self._segments: Dict[int, Segment] = {}
+        self._next_segment_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_trap(self, trap: Trap) -> Trap:
+        """Register a trapping zone as a graph node."""
+
+        if trap.name in self.graph:
+            raise ValueError(f"duplicate node name {trap.name!r}")
+        self._traps[trap.name] = trap
+        self.graph.add_node(trap.name, kind="trap", element=trap)
+        return trap
+
+    def add_junction(self, junction: Junction) -> Junction:
+        """Register a junction as a graph node."""
+
+        if junction.name in self.graph:
+            raise ValueError(f"duplicate node name {junction.name!r}")
+        self._junctions[junction.name] = junction
+        self.graph.add_node(junction.name, kind="junction", element=junction)
+        return junction
+
+    def connect(self, node_a: str, node_b: str, length: int = 1) -> Segment:
+        """Add a segment between two existing nodes and return it."""
+
+        for node in (node_a, node_b):
+            if node not in self.graph:
+                raise ValueError(f"unknown node {node!r}")
+        if self.graph.has_edge(node_a, node_b):
+            raise ValueError(f"segment {node_a}-{node_b} already exists")
+        segment = Segment(self._next_segment_id, node_a, node_b, length)
+        self._next_segment_id += 1
+        self._segments[segment.segment_id] = segment
+        self.graph.add_edge(node_a, node_b, element=segment, weight=length)
+        return segment
+
+    def validate(self) -> None:
+        """Check structural invariants.
+
+        * at least one trap exists;
+        * the graph is connected (every trap can reach every other trap);
+        * every junction's declared degree matches its number of incident
+          segments.
+        """
+
+        if not self._traps:
+            raise ValueError("topology has no traps")
+        if len(self.graph) > 1 and not nx.is_connected(self.graph):
+            raise ValueError("topology graph is not connected")
+        for junction in self._junctions.values():
+            actual = self.graph.degree[junction.name]
+            if actual != junction.degree:
+                raise ValueError(
+                    f"junction {junction.name} declares degree {junction.degree} "
+                    f"but has {actual} incident segments"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def traps(self) -> Tuple[Trap, ...]:
+        """All traps, ordered by trap id."""
+
+        return tuple(sorted(self._traps.values(), key=lambda t: t.trap_id))
+
+    @property
+    def junctions(self) -> Tuple[Junction, ...]:
+        """All junctions, ordered by junction id."""
+
+        return tuple(sorted(self._junctions.values(), key=lambda j: j.junction_id))
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        """All segments, ordered by segment id."""
+
+        return tuple(self._segments[i] for i in sorted(self._segments))
+
+    @property
+    def num_traps(self) -> int:
+        """Number of trapping zones."""
+
+        return len(self._traps)
+
+    def trap(self, name: str) -> Trap:
+        """Look up a trap by node name."""
+
+        try:
+            return self._traps[name]
+        except KeyError:
+            raise KeyError(f"no trap named {name!r}") from None
+
+    def trap_by_id(self, trap_id: int) -> Trap:
+        """Look up a trap by numeric id."""
+
+        for trap in self._traps.values():
+            if trap.trap_id == trap_id:
+                return trap
+        raise KeyError(f"no trap with id {trap_id}")
+
+    def junction(self, name: str) -> Junction:
+        """Look up a junction by node name."""
+
+        try:
+            return self._junctions[name]
+        except KeyError:
+            raise KeyError(f"no junction named {name!r}") from None
+
+    def is_trap(self, node: str) -> bool:
+        """Whether ``node`` is a trap (as opposed to a junction)."""
+
+        return node in self._traps
+
+    def segment_between(self, node_a: str, node_b: str) -> Segment:
+        """The segment joining two adjacent nodes."""
+
+        data = self.graph.get_edge_data(node_a, node_b)
+        if data is None:
+            raise KeyError(f"no segment between {node_a!r} and {node_b!r}")
+        return data["element"]
+
+    def total_capacity(self) -> int:
+        """Sum of trap capacities (maximum number of ions the device holds)."""
+
+        return sum(trap.capacity for trap in self._traps.values())
+
+    # ------------------------------------------------------------------ #
+    # Path planning
+    # ------------------------------------------------------------------ #
+    def shortest_path(self, source: str, destination: str) -> ShuttlePath:
+        """Shortest shuttling route between two traps.
+
+        The path is shortest by total segment length (junction and
+        intermediate-trap penalties are reflected later by the timing model;
+        for the topologies in the paper both notions of shortest coincide).
+        """
+
+        if source not in self._traps or destination not in self._traps:
+            raise KeyError("shuttle paths must start and end at traps")
+        if source == destination:
+            return ShuttlePath(source, destination, ())
+        nodes = nx.shortest_path(self.graph, source, destination, weight="weight")
+        return self._path_from_nodes(nodes)
+
+    def all_shortest_paths(self, source: str, destination: str) -> List[ShuttlePath]:
+        """Every shortest route between two traps (used by congestion-aware
+        routing to pick an uncontended alternative)."""
+
+        if source == destination:
+            return [ShuttlePath(source, destination, ())]
+        paths = nx.all_shortest_paths(self.graph, source, destination, weight="weight")
+        return [self._path_from_nodes(nodes) for nodes in paths]
+
+    def _path_from_nodes(self, nodes: List[str]) -> ShuttlePath:
+        steps: List[PathStep] = []
+        for index in range(len(nodes) - 1):
+            here, there = nodes[index], nodes[index + 1]
+            steps.append(PathStep("segment", self.segment_between(here, there)))
+            if index + 1 < len(nodes) - 1:
+                # an interior node: either a junction to cross or a trap to
+                # pass through
+                if self.is_trap(there):
+                    steps.append(PathStep("trap", self._traps[there]))
+                else:
+                    steps.append(PathStep("junction", self._junctions[there]))
+        return ShuttlePath(nodes[0], nodes[-1], tuple(steps))
+
+    def port_side(self, trap_name: str, neighbor: str) -> str:
+        """Which end of ``trap_name``'s ion chain the path toward ``neighbor``
+        attaches to: ``"head"`` or ``"tail"``.
+
+        The decision is geometric: a neighbour that sits at a smaller
+        coordinate than the trap attaches to the chain head, a larger one to
+        the tail.  For linear topologies this reproduces Figure 4 (ions enter
+        on one side and must be reordered to the other side before continuing);
+        traps with a single port always use the tail.
+        """
+
+        if trap_name not in self._traps:
+            raise KeyError(f"no trap named {trap_name!r}")
+        if not self.graph.has_edge(trap_name, neighbor):
+            raise KeyError(f"{neighbor!r} is not adjacent to {trap_name!r}")
+        trap = self._traps[trap_name]
+        neighbor_element = self.graph.nodes[neighbor]["element"]
+        trap_pos = trap.position
+        neighbor_pos = getattr(neighbor_element, "position", None)
+        if trap_pos is None or neighbor_pos is None:
+            return "tail"
+        if (neighbor_pos[0], neighbor_pos[1]) < (trap_pos[0], trap_pos[1]):
+            return "head"
+        return "tail"
+
+    def trap_distance(self, source: str, destination: str) -> int:
+        """Shortest-path length (in segments) between two traps."""
+
+        return self.shortest_path(source, destination).num_segments
+
+    def distance_matrix(self) -> Dict[Tuple[str, str], int]:
+        """All-pairs trap distances in segments (used by the mapper)."""
+
+        matrix: Dict[Tuple[str, str], int] = {}
+        names = [trap.name for trap in self.traps]
+        for i, a in enumerate(names):
+            matrix[(a, a)] = 0
+            for b in names[i + 1:]:
+                distance = self.trap_distance(a, b)
+                matrix[(a, b)] = distance
+                matrix[(b, a)] = distance
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Topology({self.name!r}, traps={len(self._traps)}, "
+                f"junctions={len(self._junctions)}, segments={len(self._segments)})")

@@ -1,0 +1,59 @@
+"""A trapping zone: holds a linear chain of ions with a maximum capacity.
+
+Each trap in a QCCD device is equivalent to a small single-trap system
+(Section IV.A): gates within the trap are fully connected, their duration and
+fidelity depend on the chain length and on the ion separation, and the chain
+accumulates motional energy when ions are split off, merged in, or shuttled
+through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Trap:
+    """Static description of a trapping zone.
+
+    The *dynamic* chain contents (which ion sits where, current motional
+    energy) are tracked by the compiler's placement state and by the
+    simulator, not here: the same device object is reused across many
+    compilations and simulations.
+
+    Attributes
+    ----------
+    trap_id:
+        Device-wide unique identifier.
+    capacity:
+        Maximum number of ions the trap can hold.
+    name:
+        Node label used in the topology graph (e.g. ``"T3"``).
+    position:
+        Optional (x, y) coordinate for layout-aware heuristics and plotting.
+    """
+
+    trap_id: int
+    capacity: int
+    name: str = ""
+    position: Optional[Tuple[float, float]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.trap_id < 0:
+            raise ValueError("trap_id must be non-negative")
+        if self.capacity < 2:
+            raise ValueError("a trap must hold at least 2 ions to run entangling gates")
+        if not self.name:
+            object.__setattr__(self, "name", f"T{self.trap_id}")
+
+    def usable_capacity(self, buffer_ions: int) -> int:
+        """Capacity available for initial mapping once ``buffer_ions`` slots
+        are reserved for incoming shuttles (Section VI: 2 by default)."""
+
+        if buffer_ions < 0:
+            raise ValueError("buffer_ions must be non-negative")
+        return max(0, self.capacity - buffer_ions)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.name}(cap={self.capacity})"

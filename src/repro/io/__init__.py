@@ -1,0 +1,26 @@
+"""Serialization of toolflow artefacts.
+
+Design-space exploration produces three kinds of artefacts a user wants to
+persist and post-process outside Python: compiled programs, simulation
+results, and figure bundles (sweep series).  This package serialises all three
+to plain JSON so they can be diffed, archived next to EXPERIMENTS.md, or
+plotted with external tooling.
+"""
+
+from repro.io.serialization import (
+    program_to_dict,
+    result_to_dict,
+    save_json,
+    load_json,
+    figure_bundle_to_dict,
+    records_to_json,
+)
+
+__all__ = [
+    "program_to_dict",
+    "result_to_dict",
+    "save_json",
+    "load_json",
+    "figure_bundle_to_dict",
+    "records_to_json",
+]

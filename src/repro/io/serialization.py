@@ -1,0 +1,177 @@
+"""JSON serialisation of programs, results and sweep outputs.
+
+The format is intentionally flat and stable:
+
+* a compiled program becomes ``{"circuit", "device", "placement", "operations"}``
+  with one dictionary per operation (kind, operands, annotations,
+  dependencies);
+* a simulation result becomes its headline metrics plus operation counts and
+  per-trap energies;
+* a figure bundle (the output of :func:`repro.toolflow.figures.figure6` etc.)
+  becomes the same nested dictionaries with the non-serialisable
+  ``ArchitectureConfig`` replaced by its name and fields.
+
+Loading returns plain dictionaries -- the JSON files are an interchange
+format, not a substitute for recompiling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.isa.operations import OpKind
+from repro.isa.program import QCCDProgram
+from repro.sim.results import SimulationResult
+from repro.toolflow.config import ArchitectureConfig
+from repro.toolflow.runner import ExperimentRecord
+
+
+def _jsonify(value):
+    """Recursively convert dataclasses, enums and tuples to JSON-safe types."""
+
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {key: _jsonify(item) for key, item in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {_key_to_str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+def _key_to_str(key):
+    if isinstance(key, Enum):
+        return key.value
+    return str(key) if not isinstance(key, (str, int, float, bool)) else key
+
+
+# --------------------------------------------------------------------------- #
+# Programs
+# --------------------------------------------------------------------------- #
+def program_to_dict(program: QCCDProgram) -> Dict:
+    """Serialise a compiled program (operations, placement, metadata)."""
+
+    operations: List[Dict] = []
+    for op in program.operations:
+        entry = {"kind": op.kind.value, "op_id": op.op_id,
+                 "dependencies": list(op.dependencies)}
+        for field in dataclasses.fields(op):
+            if field.name in ("op_id", "dependencies"):
+                continue
+            entry[field.name] = _jsonify(getattr(op, field.name))
+        operations.append(entry)
+    return {
+        "circuit": program.circuit_name,
+        "device": program.device_name,
+        "metadata": _jsonify(program.metadata),
+        "placement": {
+            "qubit_to_ion": {str(q): ion for q, ion in program.placement.qubit_to_ion.items()},
+            "ion_to_trap": {str(i): trap for i, trap in program.placement.ion_to_trap.items()},
+            "trap_chains": {trap: list(chain)
+                            for trap, chain in program.placement.trap_chains.items()},
+        },
+        "num_operations": len(program),
+        "op_counts": {kind.value: count for kind, count in program.op_counts().items()},
+        "operations": operations,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+def result_to_dict(result: SimulationResult, include_timeline: bool = False) -> Dict:
+    """Serialise a simulation result's metrics (optionally with its timeline)."""
+
+    payload = {
+        "circuit": result.circuit_name,
+        "device": result.device_name,
+        "duration_us": result.duration,
+        "duration_s": result.duration_seconds,
+        "computation_s": result.computation_seconds,
+        "communication_s": result.communication_seconds,
+        "fidelity": result.fidelity,
+        "log_fidelity": result.log_fidelity,
+        "mean_background_error": result.mean_background_error,
+        "mean_motional_error": result.mean_motional_error,
+        "max_motional_energy": result.max_motional_energy,
+        "num_shuttles": result.num_shuttles,
+        "num_ms_gates": result.num_ms_gates,
+        "op_counts": {kind.value: count for kind, count in result.op_counts.items()},
+        "final_trap_energies": dict(result.final_trap_energies),
+        "peak_occupancy": dict(result.peak_occupancy),
+    }
+    if include_timeline and result.timeline is not None:
+        payload["timeline"] = [
+            {"op_id": record.op_id, "kind": record.kind.value,
+             "start": record.start, "finish": record.finish,
+             "fidelity": record.fidelity}
+            for record in result.timeline
+        ]
+    return payload
+
+
+def records_to_json(records: Iterable[ExperimentRecord]) -> List[Dict]:
+    """Serialise experiment records (one row per design point)."""
+
+    rows = []
+    for record in records:
+        row = {
+            "application": record.application,
+            "config": _config_to_dict(record.config),
+            "program_ops": record.program_size,
+            "shuttles": record.num_shuttles,
+            "result": result_to_dict(record.result),
+        }
+        rows.append(row)
+    return rows
+
+
+def _config_to_dict(config: ArchitectureConfig) -> Dict:
+    return {
+        "name": config.name,
+        "topology": config.topology,
+        "trap_capacity": config.trap_capacity,
+        "gate": config.gate,
+        "reorder": config.reorder,
+        "buffer_ions": config.buffer_ions,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure bundles
+# --------------------------------------------------------------------------- #
+def figure_bundle_to_dict(bundle: Dict) -> Dict:
+    """Serialise a figure6/figure7/figure8 bundle (configs become dicts)."""
+
+    payload = {}
+    for key, value in bundle.items():
+        if isinstance(value, ArchitectureConfig):
+            payload[key] = _config_to_dict(value)
+        else:
+            payload[key] = _jsonify(value)
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# File I/O
+# --------------------------------------------------------------------------- #
+def save_json(payload, path) -> Path:
+    """Write ``payload`` (any JSON-safe structure) to ``path``; returns the path."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+    return path
+
+
+def load_json(path) -> Dict:
+    """Read a JSON artefact written by :func:`save_json`."""
+
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,143 @@
+"""Minimal OpenQASM 2.0 reader / writer.
+
+The paper's backend compiler "supports an OpenQASM interface which allows us
+to easily interface with high-level language frontends like Cirq and ScaffCC"
+(Section VIII.A).  This module implements the subset needed for that
+interface: a single quantum register, a single classical register, the
+standard-library gate names recognised by :mod:`repro.ir.gate`, and
+measurements.  It is intentionally small -- a full OpenQASM grammar is out of
+scope for the architectural study.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.ir.circuit import Circuit
+from repro.ir.gate import Gate
+
+_HEADER_RE = re.compile(r"OPENQASM\s+2(\.\d+)?\s*;")
+_INCLUDE_RE = re.compile(r'include\s+"[^"]*"\s*;')
+_QREG_RE = re.compile(r"qreg\s+(?P<name>\w+)\s*\[\s*(?P<size>\d+)\s*\]\s*;")
+_CREG_RE = re.compile(r"creg\s+(?P<name>\w+)\s*\[\s*(?P<size>\d+)\s*\]\s*;")
+_MEASURE_RE = re.compile(
+    r"measure\s+(?P<qreg>\w+)\s*\[\s*(?P<qidx>\d+)\s*\]\s*->\s*(?P<creg>\w+)\s*\[\s*(?P<cidx>\d+)\s*\]\s*;"
+)
+_GATE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_][\w]*)\s*(\((?P<params>[^)]*)\))?\s+(?P<args>[^;]+);"
+)
+_ARG_RE = re.compile(r"(?P<reg>\w+)\s*\[\s*(?P<idx>\d+)\s*\]")
+
+
+class QasmError(ValueError):
+    """Raised when the OpenQASM text cannot be parsed by this subset reader."""
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a parameter expression such as ``pi/4`` or ``-2*pi/8``.
+
+    Only numbers, ``pi``, ``+ - * /`` and parentheses are allowed.
+    """
+
+    cleaned = text.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[\d\.\seE\+\-\*/\(\)]+", cleaned):
+        raise QasmError(f"unsupported parameter expression: {text!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised above
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"could not evaluate parameter {text!r}") from exc
+
+
+def loads(text: str, name: str = "qasm") -> Circuit:
+    """Parse OpenQASM 2.0 ``text`` into a :class:`~repro.ir.circuit.Circuit`."""
+
+    qreg_size = 0
+    qreg_name = None
+    gates: List[Gate] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if _HEADER_RE.match(line) or _INCLUDE_RE.match(line):
+            continue
+        match = _QREG_RE.match(line)
+        if match:
+            if qreg_name is not None:
+                raise QasmError("only a single qreg is supported")
+            qreg_name = match.group("name")
+            qreg_size = int(match.group("size"))
+            continue
+        if _CREG_RE.match(line):
+            continue
+        match = _MEASURE_RE.match(line)
+        if match:
+            gates.append(Gate("measure", (int(match.group("qidx")),)))
+            continue
+        if line.startswith("barrier"):
+            continue
+        match = _GATE_RE.match(line)
+        if match is None:
+            raise QasmError(f"could not parse line: {raw_line!r}")
+        gate_name = match.group("name").lower()
+        params_text = match.group("params")
+        params = tuple(
+            _eval_param(p) for p in params_text.split(",")
+        ) if params_text else ()
+        qubits: List[int] = []
+        for arg in _ARG_RE.finditer(match.group("args")):
+            qubits.append(int(arg.group("idx")))
+        if not qubits:
+            raise QasmError(f"gate with no qubit operands: {raw_line!r}")
+        gates.append(Gate(gate_name, tuple(qubits), params))
+
+    if qreg_name is None:
+        raise QasmError("no qreg declaration found")
+    circuit = Circuit(qreg_size, name=name)
+    for gate in gates:
+        circuit.append(gate)
+    return circuit
+
+
+def load(path, name: str = None) -> Circuit:
+    """Read a file and parse it with :func:`loads`."""
+
+    with open(path) as handle:
+        text = handle.read()
+    return loads(text, name=name or str(path))
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialise a circuit as OpenQASM 2.0 text.
+
+    Measurements are mapped to a classical register of the same size as the
+    quantum register, with ``c[i] = measure(q[i])``.
+    """
+
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for gate in circuit.gates:
+        if gate.is_measurement:
+            qubit = gate.qubits[0]
+            lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+            continue
+        args = ",".join(f"q[{q}]" for q in gate.qubits)
+        if gate.params:
+            pars = ",".join(f"{p!r}" for p in gate.params)
+            lines.append(f"{gate.name}({pars}) {args};")
+        else:
+            lines.append(f"{gate.name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: Circuit, path) -> None:
+    """Serialise ``circuit`` to ``path``."""
+
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

@@ -1,0 +1,36 @@
+"""QCCD instruction set: the primitive operations a compiled program contains.
+
+The compiler lowers a circuit to a sequence of these primitives (the paper's
+"executable with primitive QCCD instructions", Section V.A); the simulator
+assigns each a duration, a set of exclusive hardware resources, a heating
+effect and a fidelity contribution.
+"""
+
+from repro.isa.operations import (
+    Operation,
+    GateOp,
+    SwapGateOp,
+    MeasureOp,
+    SplitOp,
+    MoveOp,
+    JunctionCrossOp,
+    MergeOp,
+    IonSwapOp,
+    OpKind,
+)
+from repro.isa.program import QCCDProgram, InitialPlacement
+
+__all__ = [
+    "Operation",
+    "GateOp",
+    "SwapGateOp",
+    "MeasureOp",
+    "SplitOp",
+    "MoveOp",
+    "JunctionCrossOp",
+    "MergeOp",
+    "IonSwapOp",
+    "OpKind",
+    "QCCDProgram",
+    "InitialPlacement",
+]

@@ -1,0 +1,337 @@
+"""Primitive QCCD operations.
+
+Every operation carries:
+
+* ``op_id`` -- its index in the compiled program;
+* ``dependencies`` -- op ids that must complete before it may start (data
+  dependencies on ions plus the per-trap chain-structure order the compiler
+  assumed);
+* enough *annotations* from compile time (chain length, ion separation, chain
+  size before a split) for the simulator to evaluate the performance and noise
+  models without re-deriving chain contents.
+
+Operation classes:
+
+========================  =====================================================
+:class:`GateOp`           a single-qubit gate, two-qubit MS gate inside a trap
+:class:`SwapGateOp`       a gate-based SWAP (3 MS gates) used for GS reordering
+:class:`MeasureOp`        qubit measurement
+:class:`SplitOp`          split one ion off a trap's chain
+:class:`MoveOp`           move a split ion through one segment
+:class:`JunctionCrossOp`  cross (and possibly turn at) a junction
+:class:`MergeOp`          merge a travelling ion into a trap's chain
+:class:`IonSwapOp`        physically exchange two adjacent ions (IS reordering)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class OpKind(enum.Enum):
+    """Classification used for counting and for the compute/communication
+    time breakdown (Figure 6b)."""
+
+    GATE_1Q = "gate_1q"
+    GATE_2Q = "gate_2q"
+    SWAP_GATE = "swap_gate"
+    MEASURE = "measure"
+    SPLIT = "split"
+    MOVE = "move"
+    JUNCTION = "junction"
+    MERGE = "merge"
+    ION_SWAP = "ion_swap"
+
+    @property
+    def is_communication(self) -> bool:
+        """Whether the op exists only to move quantum state between traps.
+
+        Gate-based swaps and physical ion swaps are communication overhead:
+        they are inserted by the compiler for chain reordering, not requested
+        by the application.
+        """
+
+        return self in (OpKind.SPLIT, OpKind.MOVE, OpKind.JUNCTION, OpKind.MERGE,
+                        OpKind.ION_SWAP, OpKind.SWAP_GATE)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for every primitive operation."""
+
+    op_id: int
+    dependencies: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.op_id < 0:
+            raise ValueError("op_id must be non-negative")
+        if any(dep >= self.op_id for dep in self.dependencies):
+            raise ValueError("dependencies must reference earlier operations")
+
+    @property
+    def kind(self) -> OpKind:
+        """The operation's :class:`OpKind`; overridden by subclasses."""
+
+        raise NotImplementedError
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        """Exclusive hardware resources the op occupies while executing."""
+
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GateOp(Operation):
+    """A laser gate executed inside one trap.
+
+    Attributes
+    ----------
+    trap:
+        Name of the trap executing the gate.
+    ions:
+        Physical ion ids involved (1 or 2).
+    qubits:
+        Program qubits whose state the gate acts on (mirrors ``ions``).
+    name:
+        Original gate name from the IR (``"cx"``, ``"rz"``, ...).
+    chain_length:
+        Number of ions in the trap's chain when the gate executes (annotated
+        by the compiler; drives FM gate time and the ``A(N)`` error term).
+    ion_distance:
+        Number of ions strictly between the two gate ions (two-qubit gates
+        only; drives AM/PM gate times).
+    """
+
+    trap: str = ""
+    ions: Tuple[int, ...] = ()
+    qubits: Tuple[int, ...] = ()
+    name: str = ""
+    chain_length: int = 0
+    ion_distance: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.trap:
+            raise ValueError("GateOp needs a trap")
+        if len(self.ions) not in (1, 2):
+            raise ValueError("GateOp acts on one or two ions")
+        if len(self.ions) != len(self.qubits):
+            raise ValueError("ions and qubits must have the same arity")
+        if self.chain_length < len(self.ions):
+            raise ValueError("chain_length smaller than the number of gate ions")
+        if len(self.ions) == 2 and self.ion_distance > self.chain_length - 2:
+            raise ValueError("ion_distance impossible for the annotated chain length")
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """Whether this is an entangling (MS) gate."""
+
+        return len(self.ions) == 2
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.GATE_2Q if self.is_two_qubit else OpKind.GATE_1Q
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return (self.trap,)
+
+
+@dataclass(frozen=True)
+class SwapGateOp(Operation):
+    """A gate-based SWAP (three MS gates) used for GS chain reordering.
+
+    The swap exchanges the *quantum states* of two ions in the same trap; the
+    physical chain order is unchanged, but the program-qubit-to-ion binding
+    recorded by the compiler flips.
+    """
+
+    trap: str = ""
+    ions: Tuple[int, int] = (0, 0)
+    qubits: Tuple[Optional[int], Optional[int]] = (None, None)
+    chain_length: int = 0
+    ion_distance: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.trap:
+            raise ValueError("SwapGateOp needs a trap")
+        if self.ions[0] == self.ions[1]:
+            raise ValueError("SwapGateOp needs two distinct ions")
+        if self.chain_length < 2:
+            raise ValueError("chain_length must be at least 2")
+        if self.ion_distance > self.chain_length - 2:
+            raise ValueError("ion_distance impossible for the annotated chain length")
+
+    #: Number of MS gates one SWAP decomposes into.
+    MS_GATES_PER_SWAP = 3
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.SWAP_GATE
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return (self.trap,)
+
+
+@dataclass(frozen=True)
+class MeasureOp(Operation):
+    """Measurement (state detection) of one ion."""
+
+    trap: str = ""
+    ion: int = 0
+    qubit: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.trap:
+            raise ValueError("MeasureOp needs a trap")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.MEASURE
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return (self.trap,)
+
+
+@dataclass(frozen=True)
+class SplitOp(Operation):
+    """Split one ion off a trap's chain so it can be shuttled away.
+
+    ``chain_size`` is the number of ions in the chain *before* the split; the
+    heating model divides the chain's motional energy proportionally.
+    """
+
+    trap: str = ""
+    ion: int = 0
+    chain_size: int = 0
+    side: str = "tail"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.trap:
+            raise ValueError("SplitOp needs a trap")
+        if self.chain_size < 1:
+            raise ValueError("chain_size must be at least 1")
+        if self.side not in ("head", "tail"):
+            raise ValueError("side must be 'head' or 'tail'")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.SPLIT
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return (self.trap,)
+
+
+@dataclass(frozen=True)
+class MoveOp(Operation):
+    """Move a travelling ion through one segment."""
+
+    ion: int = 0
+    segment: str = ""
+    length: int = 1
+    from_node: str = ""
+    to_node: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.segment:
+            raise ValueError("MoveOp needs a segment")
+        if self.length < 1:
+            raise ValueError("length must be at least 1")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.MOVE
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return (self.segment,)
+
+
+@dataclass(frozen=True)
+class JunctionCrossOp(Operation):
+    """Cross a junction (including any turn)."""
+
+    ion: int = 0
+    junction: str = ""
+    junction_degree: int = 3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.junction:
+            raise ValueError("JunctionCrossOp needs a junction")
+        if self.junction_degree < 2:
+            raise ValueError("junction_degree must be at least 2")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.JUNCTION
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return (self.junction,)
+
+
+@dataclass(frozen=True)
+class MergeOp(Operation):
+    """Merge a travelling ion into a trap's chain at one end."""
+
+    trap: str = ""
+    ion: int = 0
+    side: str = "tail"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.trap:
+            raise ValueError("MergeOp needs a trap")
+        if self.side not in ("head", "tail"):
+            raise ValueError("side must be 'head' or 'tail'")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.MERGE
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return (self.trap,)
+
+
+@dataclass(frozen=True)
+class IonSwapOp(Operation):
+    """Physically exchange two adjacent ions (one hop of IS reordering).
+
+    Each hop is a split (isolating the pair), a 180-degree rotation and a
+    merge (Section IV.C, [63]); ``chain_size`` is the chain size before the
+    hop and drives the heating bookkeeping.
+    """
+
+    trap: str = ""
+    ions: Tuple[int, int] = (0, 0)
+    chain_size: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.trap:
+            raise ValueError("IonSwapOp needs a trap")
+        if self.ions[0] == self.ions[1]:
+            raise ValueError("IonSwapOp needs two distinct ions")
+        if self.chain_size < 2:
+            raise ValueError("chain_size must be at least 2")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.ION_SWAP
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return (self.trap,)

@@ -1,0 +1,53 @@
+"""Performance and noise models for QCCD hardware (paper Section VII).
+
+Four model families are implemented, each in its own module:
+
+* :mod:`~repro.models.gate_times` -- Molmer-Sorensen gate durations for the
+  AM1, AM2, PM and FM pulse-modulation methods (Section VII.A).
+* :mod:`~repro.models.shuttle_times` -- shuttling primitive durations
+  (Table I) plus the configurable ion-rotation time used by physical ion
+  swapping.
+* :mod:`~repro.models.heating` -- the quanta-accounting motional heating model
+  (Section VII.B, constants k1 and k2).
+* :mod:`~repro.models.fidelity` -- the gate fidelity model
+  ``F = 1 - Gamma*tau - A*(2*nbar + 1)`` (Section VII.C, equation 1) with the
+  error attribution used by Figure 6g.
+
+:mod:`~repro.models.params` groups every tunable constant in frozen
+dataclasses so that experiments are reproducible and ablations are explicit.
+"""
+
+from repro.models.params import (
+    FidelityParams,
+    HeatingParams,
+    ShuttleTimes,
+    SingleQubitParams,
+    PhysicalModel,
+)
+from repro.models.gate_times import (
+    GateImplementation,
+    gate_time,
+    am1_gate_time,
+    am2_gate_time,
+    pm_gate_time,
+    fm_gate_time,
+)
+from repro.models.heating import HeatingModel
+from repro.models.fidelity import FidelityModel, GateErrorBreakdown
+
+__all__ = [
+    "FidelityParams",
+    "HeatingParams",
+    "ShuttleTimes",
+    "SingleQubitParams",
+    "PhysicalModel",
+    "GateImplementation",
+    "gate_time",
+    "am1_gate_time",
+    "am2_gate_time",
+    "pm_gate_time",
+    "fm_gate_time",
+    "HeatingModel",
+    "FidelityModel",
+    "GateErrorBreakdown",
+]

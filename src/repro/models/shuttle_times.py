@@ -1,0 +1,42 @@
+"""Shuttling primitive durations (paper Table I).
+
+This module is a thin functional wrapper over
+:class:`~repro.models.params.ShuttleTimes` so that callers can ask for the
+duration of a primitive by name, and so that the benchmark harness for
+Table I has a single source of truth to print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.models.params import ShuttleTimes
+
+#: Canonical Table I rows: operation label -> attribute on ShuttleTimes.
+TABLE1_ROWS = (
+    ("Move ion through one segment", "move_segment"),
+    ("Splitting operation on a chain", "split"),
+    ("Merging an ion with a chain", "merge"),
+    ("Crossing Y-junction", "cross_y_junction"),
+    ("Crossing X-junction", "cross_x_junction"),
+)
+
+
+def operation_times(params: ShuttleTimes = None) -> Dict[str, float]:
+    """Return the Table I rows as ``{label: duration_us}``."""
+
+    params = params or ShuttleTimes()
+    params.validate()
+    return {label: getattr(params, attr) for label, attr in TABLE1_ROWS}
+
+
+def format_table1(params: ShuttleTimes = None) -> str:
+    """Render Table I as aligned text (used by examples and benchmarks)."""
+
+    rows = operation_times(params)
+    width = max(len(label) for label in rows)
+    lines = [f"{'Operation':<{width}}  Time"]
+    lines.append("-" * (width + 8))
+    for label, duration in rows.items():
+        lines.append(f"{label:<{width}}  {duration:.0f}us")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Resource timeline: exclusive-use bookkeeping for traps, segments, junctions.
+
+The simulator treats every trap, segment and junction as an exclusive
+resource: an operation can only start once the resources it occupies are free.
+This is how the paper's congestion handling appears in simulation -- a shuttle
+that needs a segment another shuttle is using simply waits, and gates within a
+trap serialise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+
+class ResourceTimeline:
+    """Tracks, per resource, the time at which it next becomes free."""
+
+    def __init__(self) -> None:
+        self._free_at: Dict[str, float] = {}
+        self._busy_time: Dict[str, float] = {}
+
+    def available_at(self, resources: Iterable[str]) -> float:
+        """Earliest time every resource in ``resources`` is simultaneously free."""
+
+        return max((self._free_at.get(name, 0.0) for name in resources), default=0.0)
+
+    def occupy(self, resources: Iterable[str], start: float, finish: float) -> None:
+        """Mark ``resources`` busy during [start, finish)."""
+
+        if finish < start:
+            raise ValueError("finish must not precede start")
+        for name in resources:
+            if self._free_at.get(name, 0.0) > start:
+                raise ValueError(
+                    f"resource {name!r} is busy at {start}; scheduling bug in the caller"
+                )
+            self._free_at[name] = finish
+            self._busy_time[name] = self._busy_time.get(name, 0.0) + (finish - start)
+
+    def busy_time(self, resource: str) -> float:
+        """Total time ``resource`` has been occupied so far."""
+
+        return self._busy_time.get(resource, 0.0)
+
+    def utilisation(self, resource: str, horizon: float) -> float:
+        """Fraction of [0, horizon) during which ``resource`` was busy."""
+
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(resource) / horizon)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of the per-resource next-free times."""
+
+        return dict(self._free_at)
+
+    def items(self) -> Tuple[Tuple[str, float], ...]:
+        """(resource, next-free-time) pairs."""
+
+        return tuple(self._free_at.items())

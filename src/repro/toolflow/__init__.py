@@ -1,0 +1,36 @@
+"""Design-space exploration toolflow (paper Figure 3, Sections VIII-X).
+
+This layer glues applications, compiler and simulator into the experiments the
+paper reports:
+
+* :mod:`~repro.toolflow.config` -- :class:`ArchitectureConfig`, a declarative
+  description of one candidate architecture.
+* :mod:`~repro.toolflow.runner` -- compile-and-simulate drivers, including the
+  gate-implementation fan-out that reuses one compilation across AM1/AM2/PM/FM.
+* :mod:`~repro.toolflow.sweep` -- parameter sweeps over capacities, topologies
+  and microarchitecture combinations.
+* :mod:`~repro.toolflow.figures` -- harnesses that regenerate the data series
+  of Figures 6, 7 and 8.
+* :mod:`~repro.toolflow.tables` -- harnesses for Tables I and II.
+"""
+
+from repro.toolflow.config import ArchitectureConfig
+from repro.toolflow.runner import ExperimentRecord, run_experiment, run_gate_variants
+from repro.toolflow.sweep import sweep_capacity, sweep_topologies, sweep_microarchitecture
+from repro.toolflow.figures import figure6, figure7, figure8
+from repro.toolflow.tables import table1, table2
+
+__all__ = [
+    "ArchitectureConfig",
+    "ExperimentRecord",
+    "run_experiment",
+    "run_gate_variants",
+    "sweep_capacity",
+    "sweep_topologies",
+    "sweep_microarchitecture",
+    "figure6",
+    "figure7",
+    "figure8",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,160 @@
+"""Harnesses that regenerate the data series of the paper's figures.
+
+Each function runs the relevant sweep and returns a plain-dictionary bundle of
+series (lists indexed like ``capacities``), ready to be printed as text or
+plotted.  The default parameters reproduce the paper's setup; passing a
+scaled-down suite and a shorter capacity list yields fast shape-preserving
+versions for tests and benchmarks.
+
+* :func:`figure6` -- trap-sizing study (L6, FM, GS): runtime, fidelity, QFT
+  computation/communication breakdown, motional energy, Supremacy error split.
+* :func:`figure7` -- topology study (L6 versus G2x3, FM, GS): runtime,
+  fidelity, SquareRoot motional heating.
+* :func:`figure8` -- microarchitecture study (AM1/AM2/PM/FM x GS/IS on L6):
+  fidelity and runtime per combination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.apps.suite import table2_suite
+from repro.ir.circuit import Circuit
+from repro.toolflow.config import ArchitectureConfig
+from repro.toolflow.runner import run_experiment, run_gate_variants
+from repro.toolflow.sweep import PAPER_CAPACITIES, PAPER_GATES, PAPER_REORDERS
+
+
+def _suite_or_default(suite: Optional[Dict[str, Circuit]]) -> Dict[str, Circuit]:
+    return suite if suite is not None else table2_suite()
+
+
+def figure6(suite: Optional[Dict[str, Circuit]] = None,
+            capacities: Sequence[int] = PAPER_CAPACITIES,
+            base: Optional[ArchitectureConfig] = None) -> Dict[str, object]:
+    """Trap-sizing study (Figure 6a-g).
+
+    Returns a dictionary with keys ``capacities``, ``runtime_s``, ``fidelity``,
+    ``qft_breakdown``, ``max_motional_energy`` and ``supremacy_error``.
+    """
+
+    suite = _suite_or_default(suite)
+    base = base or ArchitectureConfig(topology="L6", gate="FM", reorder="GS")
+
+    runtime: Dict[str, List[float]] = {name: [] for name in suite}
+    fidelity: Dict[str, List[float]] = {name: [] for name in suite}
+    motional: Dict[str, List[float]] = {name: [] for name in suite}
+    qft_breakdown = {"computation_s": [], "communication_s": []}
+    supremacy_error = {"motional": [], "background": []}
+
+    for capacity in capacities:
+        config = base.with_updates(trap_capacity=capacity)
+        for name, circuit in suite.items():
+            record = run_experiment(circuit, config)
+            result = record.result
+            runtime[name].append(result.duration_seconds)
+            fidelity[name].append(result.fidelity)
+            motional[name].append(result.max_motional_energy)
+            if name == "QFT":
+                qft_breakdown["computation_s"].append(result.computation_seconds)
+                qft_breakdown["communication_s"].append(result.communication_seconds)
+            if name == "Supremacy":
+                supremacy_error["motional"].append(result.mean_motional_error)
+                supremacy_error["background"].append(result.mean_background_error)
+
+    return {
+        "capacities": list(capacities),
+        "config": base,
+        "runtime_s": runtime,
+        "fidelity": fidelity,
+        "qft_breakdown": qft_breakdown,
+        "max_motional_energy": motional,
+        "supremacy_error": supremacy_error,
+    }
+
+
+def figure7(suite: Optional[Dict[str, Circuit]] = None,
+            capacities: Sequence[int] = PAPER_CAPACITIES,
+            topologies: Sequence[str] = ("L6", "G2x3"),
+            base: Optional[ArchitectureConfig] = None) -> Dict[str, object]:
+    """Topology study (Figure 7a-g).
+
+    Returns ``capacities``, ``topologies``, ``runtime_s``, ``fidelity`` (both
+    keyed ``app -> topology -> series``) and ``squareroot_heating``.
+    """
+
+    suite = _suite_or_default(suite)
+    base = base or ArchitectureConfig(gate="FM", reorder="GS")
+
+    runtime: Dict[str, Dict[str, List[float]]] = {
+        name: {topology: [] for topology in topologies} for name in suite
+    }
+    fidelity: Dict[str, Dict[str, List[float]]] = {
+        name: {topology: [] for topology in topologies} for name in suite
+    }
+    heating: Dict[str, List[float]] = {topology: [] for topology in topologies}
+
+    for topology in topologies:
+        for capacity in capacities:
+            config = base.with_updates(topology=topology, trap_capacity=capacity)
+            for name, circuit in suite.items():
+                record = run_experiment(circuit, config)
+                result = record.result
+                runtime[name][topology].append(result.duration_seconds)
+                fidelity[name][topology].append(result.fidelity)
+                if name == "SquareRoot":
+                    heating[topology].append(result.max_motional_energy)
+
+    return {
+        "capacities": list(capacities),
+        "topologies": list(topologies),
+        "config": base,
+        "runtime_s": runtime,
+        "fidelity": fidelity,
+        "squareroot_heating": heating,
+    }
+
+
+def figure8(suite: Optional[Dict[str, Circuit]] = None,
+            capacities: Sequence[int] = PAPER_CAPACITIES,
+            gates: Iterable[str] = PAPER_GATES,
+            reorders: Iterable[str] = PAPER_REORDERS,
+            base: Optional[ArchitectureConfig] = None) -> Dict[str, object]:
+    """Microarchitecture study (Figure 8a-l).
+
+    Returns ``capacities``, ``combos`` (e.g. ``"FM-GS"``), ``fidelity`` and
+    ``runtime_s`` keyed ``app -> combo -> series``.  Each (application,
+    capacity, reorder) triple is compiled once and simulated under every gate
+    implementation.
+    """
+
+    suite = _suite_or_default(suite)
+    base = base or ArchitectureConfig(topology="L6")
+    gates = tuple(gates)
+    reorders = tuple(reorders)
+    combos = [f"{gate}-{reorder}" for reorder in reorders for gate in gates]
+
+    fidelity: Dict[str, Dict[str, List[float]]] = {
+        name: {combo: [] for combo in combos} for name in suite
+    }
+    runtime: Dict[str, Dict[str, List[float]]] = {
+        name: {combo: [] for combo in combos} for name in suite
+    }
+
+    for reorder in reorders:
+        for capacity in capacities:
+            config = base.with_updates(trap_capacity=capacity, reorder=reorder)
+            for name, circuit in suite.items():
+                variants = run_gate_variants(circuit, config, gates=gates)
+                for gate, record in variants.items():
+                    combo = f"{gate}-{reorder}"
+                    fidelity[name][combo].append(record.result.fidelity)
+                    runtime[name][combo].append(record.result.duration_seconds)
+
+    return {
+        "capacities": list(capacities),
+        "combos": combos,
+        "config": base,
+        "fidelity": fidelity,
+        "runtime_s": runtime,
+    }

@@ -1,0 +1,116 @@
+"""Compile-and-simulate drivers.
+
+:func:`run_experiment` evaluates one (application, architecture) pair and
+returns an :class:`ExperimentRecord`.  :func:`run_gate_variants` exploits the
+fact that the two-qubit gate implementation does not change the compiled
+operation sequence (only its durations and fidelities), so one compilation can
+be simulated under AM1, AM2, PM and FM -- this is how Figure 8's 288 points
+are produced from 72 compilations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.compiler.compile import CompilerOptions, compile_circuit
+from repro.hardware.device import QCCDDevice
+from repro.ir.circuit import Circuit
+from repro.isa.program import QCCDProgram
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult
+from repro.toolflow.config import ArchitectureConfig
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One evaluated design point."""
+
+    application: str
+    config: ArchitectureConfig
+    result: SimulationResult
+    program_size: int
+    num_shuttles: int
+
+    @property
+    def fidelity(self) -> float:
+        """Application reliability."""
+
+        return self.result.fidelity
+
+    @property
+    def duration_seconds(self) -> float:
+        """Application run time in seconds."""
+
+        return self.result.duration_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary used by report tables."""
+
+        row: Dict[str, object] = {
+            "application": self.application,
+            "topology": self.config.topology,
+            "capacity": self.config.trap_capacity,
+            "gate": self.config.gate,
+            "reorder": self.config.reorder,
+            "program_ops": self.program_size,
+            "shuttles": self.num_shuttles,
+        }
+        row.update(self.result.as_dict())
+        return row
+
+
+def compile_for(circuit: Circuit, config: ArchitectureConfig,
+                options: Optional[CompilerOptions] = None) -> tuple:
+    """Compile ``circuit`` for ``config``; returns ``(program, device)``."""
+
+    device = config.build_device(circuit.num_qubits)
+    program = compile_circuit(circuit, device, options)
+    return program, device
+
+
+def run_experiment(circuit: Circuit, config: ArchitectureConfig, *,
+                   options: Optional[CompilerOptions] = None,
+                   keep_timeline: bool = False) -> ExperimentRecord:
+    """Compile and simulate one application on one candidate architecture."""
+
+    program, device = compile_for(circuit, config, options)
+    result = simulate(program, device, keep_timeline=keep_timeline)
+    return ExperimentRecord(
+        application=circuit.name,
+        config=config,
+        result=result,
+        program_size=len(program),
+        num_shuttles=program.num_shuttles,
+    )
+
+
+def run_gate_variants(circuit: Circuit, config: ArchitectureConfig,
+                      gates: Iterable[str] = ("AM1", "AM2", "PM", "FM"), *,
+                      options: Optional[CompilerOptions] = None) -> Dict[str, ExperimentRecord]:
+    """Evaluate several gate implementations from a single compilation.
+
+    The compiled program depends on topology, capacity and reordering method
+    but not on the MS pulse-modulation scheme, so the program is compiled once
+    (under ``config``) and re-simulated for every entry of ``gates``.
+    """
+
+    program, device = compile_for(circuit, config, options)
+    records: Dict[str, ExperimentRecord] = {}
+    for gate in gates:
+        variant_device: QCCDDevice = device.with_gate(gate)
+        result = simulate(program, variant_device)
+        records[gate] = ExperimentRecord(
+            application=circuit.name,
+            config=config.with_updates(gate=gate),
+            result=result,
+            program_size=len(program),
+            num_shuttles=program.num_shuttles,
+        )
+    return records
+
+
+def simulate_program(program: QCCDProgram, device: QCCDDevice) -> SimulationResult:
+    """Thin wrapper kept for API symmetry with :func:`run_experiment`."""
+
+    return simulate(program, device)

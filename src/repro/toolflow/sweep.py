@@ -1,0 +1,96 @@
+"""Parameter sweeps over the QCCD design space.
+
+Thin, composable wrappers around :func:`~repro.toolflow.runner.run_experiment`
+that enumerate the paper's sweep axes: trap capacity, communication topology
+and microarchitecture (gate implementation x reordering method).  Each sweep
+returns a flat list of :class:`~repro.toolflow.runner.ExperimentRecord`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.ir.circuit import Circuit
+from repro.toolflow.config import ArchitectureConfig
+from repro.toolflow.runner import ExperimentRecord, run_experiment, run_gate_variants
+
+#: Capacities evaluated in the paper's figures.
+PAPER_CAPACITIES = (14, 18, 22, 26, 30, 34)
+
+#: Gate implementations evaluated in Figure 8.
+PAPER_GATES = ("AM1", "AM2", "PM", "FM")
+
+#: Reorder methods evaluated in Figure 8.
+PAPER_REORDERS = ("GS", "IS")
+
+
+def sweep_capacity(circuits: Dict[str, Circuit],
+                   capacities: Sequence[int] = PAPER_CAPACITIES,
+                   base: ArchitectureConfig = None) -> List[ExperimentRecord]:
+    """Sweep the trap capacity for every application (Figure 6 axis)."""
+
+    base = base or ArchitectureConfig()
+    records = []
+    for capacity in capacities:
+        config = base.with_updates(trap_capacity=capacity)
+        for circuit in circuits.values():
+            records.append(run_experiment(circuit, config))
+    return records
+
+
+def sweep_topologies(circuits: Dict[str, Circuit],
+                     topologies: Sequence[str] = ("L6", "G2x3"),
+                     capacities: Sequence[int] = PAPER_CAPACITIES,
+                     base: ArchitectureConfig = None) -> List[ExperimentRecord]:
+    """Sweep topology x capacity for every application (Figure 7 axes)."""
+
+    base = base or ArchitectureConfig()
+    records = []
+    for topology in topologies:
+        for capacity in capacities:
+            config = base.with_updates(topology=topology, trap_capacity=capacity)
+            for circuit in circuits.values():
+                records.append(run_experiment(circuit, config))
+    return records
+
+
+def sweep_microarchitecture(circuits: Dict[str, Circuit],
+                            capacities: Sequence[int] = PAPER_CAPACITIES,
+                            gates: Iterable[str] = PAPER_GATES,
+                            reorders: Iterable[str] = PAPER_REORDERS,
+                            base: ArchitectureConfig = None) -> List[ExperimentRecord]:
+    """Sweep gate implementation x reordering x capacity (Figure 8 axes).
+
+    The compiled program is shared across gate implementations for each
+    (application, capacity, reorder) triple.
+    """
+
+    base = base or ArchitectureConfig()
+    records = []
+    for reorder in reorders:
+        for capacity in capacities:
+            config = base.with_updates(trap_capacity=capacity, reorder=reorder)
+            for circuit in circuits.values():
+                variants = run_gate_variants(circuit, config, gates=gates)
+                records.extend(variants.values())
+    return records
+
+
+def records_to_rows(records: Iterable[ExperimentRecord]) -> List[Dict[str, object]]:
+    """Flatten records into dictionaries (for CSV-style reporting)."""
+
+    return [record.as_row() for record in records]
+
+
+def select(records: Iterable[ExperimentRecord], **criteria) -> List[ExperimentRecord]:
+    """Filter records by application/config attributes.
+
+    Example: ``select(records, application="qft64", capacity=22)``.
+    """
+
+    matched = []
+    for record in records:
+        row = record.as_row()
+        if all(row.get(key) == value for key, value in criteria.items()):
+            matched.append(record)
+    return matched

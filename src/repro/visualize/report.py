@@ -1,0 +1,47 @@
+"""Text reports for devices and experiment records."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.hardware.device import QCCDDevice
+from repro.toolflow.runner import ExperimentRecord
+
+
+def device_report(device: QCCDDevice) -> str:
+    """Multi-line description of a candidate architecture."""
+
+    topology = device.topology
+    lines = [device.describe(), ""]
+    lines.append(f"Traps ({topology.num_traps}):")
+    for trap in topology.traps:
+        lines.append(f"  {trap.name}: capacity {trap.capacity}")
+    if topology.junctions:
+        lines.append(f"Junctions ({len(topology.junctions)}):")
+        for junction in topology.junctions:
+            lines.append(f"  {junction.name}: {junction.kind} ({junction.degree}-way)")
+    lines.append(f"Segments ({len(topology.segments)}):")
+    for segment in topology.segments:
+        lines.append(f"  {segment.name}: {segment.endpoint_a} <-> {segment.endpoint_b}")
+    return "\n".join(lines)
+
+
+def experiment_report(records: Iterable[ExperimentRecord]) -> str:
+    """Aligned table of experiment records (one row per design point)."""
+
+    records = list(records)
+    if not records:
+        return "(no experiments)"
+    header = (f"{'application':<16} {'topology':<7} {'cap':>4} {'gate':>4} {'reorder':>7} "
+              f"{'time (s)':>10} {'fidelity':>10} {'shuttles':>9} {'max n̄':>8}")
+    lines: List[str] = [header, "-" * len(header)]
+    for record in records:
+        result = record.result
+        lines.append(
+            f"{record.application:<16} {record.config.topology:<7} "
+            f"{record.config.trap_capacity:>4} {record.config.gate:>4} "
+            f"{record.config.reorder:>7} {result.duration_seconds:>10.4f} "
+            f"{result.fidelity:>10.3e} {record.num_shuttles:>9} "
+            f"{result.max_motional_energy:>8.2f}"
+        )
+    return "\n".join(lines)

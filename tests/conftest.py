@@ -1,0 +1,140 @@
+"""Shared pytest fixtures.
+
+Fixtures build small, fast device/circuit instances; full-scale (64-78 qubit)
+circuits are exercised only by the explicitly-marked slow integration tests
+and by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    bernstein_vazirani_circuit,
+    cuccaro_adder_circuit,
+    qaoa_circuit,
+    qft_circuit,
+    supremacy_circuit,
+)
+from repro.compiler import compile_circuit
+from repro.hardware import build_device
+from repro.ir.circuit import Circuit
+from repro.sim import simulate
+from repro.toolflow import ArchitectureConfig
+
+
+@pytest.fixture
+def small_linear_device():
+    """A 3-trap linear device with 6-ion traps (8 usable qubits)."""
+
+    return build_device("L3", trap_capacity=6, gate="FM", reorder="GS", num_qubits=8)
+
+
+@pytest.fixture
+def small_grid_device():
+    """A 2x2 grid device with 6-ion traps."""
+
+    return build_device("G2x2", trap_capacity=6, gate="FM", reorder="GS", num_qubits=8)
+
+
+@pytest.fixture
+def l6_device():
+    """A paper-style L6 device with 16-ion traps."""
+
+    return build_device("L6", trap_capacity=16, gate="FM", reorder="GS")
+
+
+@pytest.fixture
+def tiny_circuit():
+    """A 4-qubit circuit with local and non-local two-qubit gates."""
+
+    circuit = Circuit(4, name="tiny")
+    circuit.add("h", 0)
+    circuit.add("cx", 0, 1)
+    circuit.add("cx", 1, 2)
+    circuit.add("cx", 2, 3)
+    circuit.add("cx", 0, 3)
+    return circuit
+
+
+@pytest.fixture
+def bell_circuit():
+    """The smallest entangling circuit."""
+
+    circuit = Circuit(2, name="bell")
+    circuit.add("h", 0)
+    circuit.add("cx", 0, 1)
+    return circuit
+
+
+@pytest.fixture
+def qft8():
+    """An 8-qubit QFT (56 two-qubit gates, all-to-all pattern)."""
+
+    return qft_circuit(8)
+
+
+@pytest.fixture
+def qaoa8():
+    """An 8-qubit, 3-layer QAOA ansatz."""
+
+    return qaoa_circuit(8, layers=3)
+
+
+@pytest.fixture
+def bv8():
+    """An 8-qubit Bernstein-Vazirani circuit."""
+
+    return bernstein_vazirani_circuit(8)
+
+
+@pytest.fixture
+def adder8():
+    """An 8-qubit (3+3 bit) Cuccaro adder."""
+
+    return cuccaro_adder_circuit(8)
+
+
+@pytest.fixture
+def supremacy9():
+    """A 9-qubit (3x3), 4-cycle random circuit."""
+
+    return supremacy_circuit(9, cycles=4)
+
+
+@pytest.fixture
+def small_suite(qft8, qaoa8, bv8, adder8, supremacy9):
+    """A miniature application suite keyed like the Table II suite."""
+
+    return {
+        "QFT": qft8,
+        "QAOA": qaoa8,
+        "BV": bv8,
+        "Adder": adder8,
+        "Supremacy": supremacy9,
+    }
+
+
+@pytest.fixture
+def compiled_qft8(qft8):
+    """(program, device) for an 8-qubit QFT on a small linear device."""
+
+    device = build_device("L3", trap_capacity=6, gate="FM", reorder="GS",
+                          num_qubits=qft8.num_qubits)
+    program = compile_circuit(qft8, device)
+    return program, device
+
+
+@pytest.fixture
+def simulated_qft8(compiled_qft8):
+    """(program, device, result) for the compiled 8-qubit QFT."""
+
+    program, device = compiled_qft8
+    return program, device, simulate(program, device, keep_timeline=True)
+
+
+@pytest.fixture
+def small_config():
+    """A small architecture config usable with the 8-qubit fixtures."""
+
+    return ArchitectureConfig(topology="L3", trap_capacity=6)

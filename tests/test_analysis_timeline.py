@@ -1,0 +1,74 @@
+"""Unit tests for timeline analytics."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    communication_on_critical_path,
+    critical_path,
+    format_gantt,
+    parallelism_profile,
+    peak_parallelism,
+    trap_utilisation,
+)
+from repro.compiler import compile_circuit
+from repro.hardware import build_device
+from repro.sim import simulate
+
+
+class TestTimelineAnalytics:
+    def test_requires_timeline(self, compiled_qft8):
+        program, device = compiled_qft8
+        result = simulate(program, device)  # no timeline kept
+        with pytest.raises(ValueError):
+            trap_utilisation(program, result)
+
+    def test_trap_utilisation_fractions(self, simulated_qft8):
+        program, _, result = simulated_qft8
+        utilisation = trap_utilisation(program, result)
+        assert utilisation, "at least one trap was used"
+        for fractions in utilisation.values():
+            assert fractions["gate"] >= 0.0
+            assert fractions["communication"] >= 0.0
+            assert 0.0 <= fractions["idle"] <= 1.0
+            total = fractions["gate"] + fractions["communication"] + fractions["idle"]
+            assert total == pytest.approx(1.0, abs=1e-6) or total <= 1.0 + 1e-6
+
+    def test_parallelism_profile_bounds(self, simulated_qft8):
+        _, _, result = simulated_qft8
+        profile = parallelism_profile(result, num_bins=20)
+        assert len(profile) == 20
+        assert all(value >= 0.0 for value in profile)
+        assert max(profile) <= peak_parallelism(result) + 1e-9
+
+    def test_peak_parallelism_at_least_one(self, simulated_qft8):
+        _, _, result = simulated_qft8
+        assert peak_parallelism(result) >= 1
+
+    def test_critical_path_is_a_dependency_chain(self, simulated_qft8):
+        program, _, result = simulated_qft8
+        chain = critical_path(program, result)
+        assert chain, "critical path is non-empty"
+        finish = {record.op_id: record.finish for record in result.timeline}
+        assert finish[chain[-1]] == pytest.approx(result.duration)
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier in program[later].dependencies
+
+    def test_communication_share_in_unit_interval(self, simulated_qft8):
+        program, _, result = simulated_qft8
+        share = communication_on_critical_path(program, result)
+        assert 0.0 <= share <= 1.0
+
+    def test_gantt_renders_every_trap(self, simulated_qft8):
+        program, device, result = simulated_qft8
+        chart = format_gantt(program, result, width=40)
+        used_traps = {trap for trap, count in result.peak_occupancy.items() if count > 0}
+        for trap in used_traps:
+            assert trap in chart
+        assert "legend" in chart
+
+    def test_local_circuit_has_gate_only_critical_path(self, bell_circuit):
+        device = build_device("L2", trap_capacity=6, num_qubits=2)
+        program = compile_circuit(bell_circuit, device)
+        result = simulate(program, device, keep_timeline=True)
+        assert communication_on_critical_path(program, result) == 0.0
+        assert peak_parallelism(result) == 1

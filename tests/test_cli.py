@@ -1,0 +1,84 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("info", "table1", "table2", "run", "sweep", "device"):
+            args = parser.parse_args([command] if command not in ("run", "sweep")
+                                     else {"run": ["run", "--app", "BV"],
+                                           "sweep": ["sweep", "--figure", "6"]}[command])
+            assert args.command == command
+
+    def test_run_requires_app(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+        capsys.readouterr()
+
+    def test_invalid_gate_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "BV", "--gate", "XY"])
+        capsys.readouterr()
+
+
+class TestCommands:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "QCCDSim" in out
+        assert "QAOA" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Crossing X-junction" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "Supremacy" in out
+        assert "Communication pattern" in out
+
+    def test_device(self, capsys):
+        assert main(["device", "--topology", "G2x3", "--capacity", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "6 traps" in out
+        assert "J1" in out
+
+    def test_run_small_app(self, capsys, tmp_path):
+        output = tmp_path / "bv.json"
+        code = main(["run", "--app", "BV", "--qubits", "12",
+                     "--topology", "L3", "--capacity", "8",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Application fidelity" in out
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert 0.0 <= payload["fidelity"] <= 1.0
+
+    def test_run_with_am2_is(self, capsys):
+        code = main(["run", "--app", "Adder", "--qubits", "12",
+                     "--topology", "L3", "--capacity", "8",
+                     "--gate", "AM2", "--reorder", "IS"])
+        assert code == 0
+        assert "Shuttles" in capsys.readouterr().out
+
+    def test_sweep_figure6_small(self, capsys, tmp_path):
+        output = tmp_path / "fig6.json"
+        code = main(["sweep", "--figure", "6", "--small", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6 series" in out
+        payload = json.loads(output.read_text())
+        assert payload["capacities"] == [6, 8, 10]

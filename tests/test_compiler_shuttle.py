@@ -1,0 +1,148 @@
+"""Unit tests for shuttle emission (split / move / junction / merge sequences)."""
+
+import pytest
+
+from repro.compiler.builder import ProgramBuilder
+from repro.compiler.placement_state import PlacementState
+from repro.compiler.shuttle import emit_shuttle
+from repro.hardware import build_device
+from repro.isa.operations import (
+    JunctionCrossOp,
+    MergeOp,
+    MoveOp,
+    OpKind,
+    SplitOp,
+    SwapGateOp,
+)
+
+
+def make_state(device, layout):
+    state = PlacementState(device)
+    for trap_name, qubits in layout.items():
+        for qubit in qubits:
+            state.load_ion(qubit, trap_name, qubit)
+    return state
+
+
+class TestLinearShuttles:
+    @pytest.fixture
+    def device(self):
+        return build_device("L3", trap_capacity=5, num_qubits=9, reorder="GS")
+
+    def test_adjacent_shuttle_sequence(self, device):
+        state = make_state(device, {"T0": [0, 1, 2], "T1": [3]})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 2, "T1")
+        kinds = [op.kind for op in builder.operations]
+        # Qubit 2 is already at T0's tail (facing T1): split, move, merge.
+        assert kinds == [OpKind.SPLIT, OpKind.MOVE, OpKind.MERGE]
+        assert state.trap_of_qubit(2) == "T1"
+        state.validate()
+
+    def test_reorder_inserted_when_not_at_port(self, device):
+        state = make_state(device, {"T0": [0, 1, 2], "T1": [3]})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 0, "T1")
+        kinds = [op.kind for op in builder.operations]
+        assert kinds[0] == OpKind.SWAP_GATE
+        assert kinds[1:] == [OpKind.SPLIT, OpKind.MOVE, OpKind.MERGE]
+        # With GS the state of qubit 0 rides on what used to be ion 2.
+        assert state.trap_of_qubit(0) == "T1"
+        assert state.ion_of_qubit(0) == 2
+
+    def test_pass_through_intermediate_trap(self, device):
+        state = make_state(device, {"T0": [0, 1], "T1": [2, 3], "T2": [4]})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 1, "T2")
+        kinds = [op.kind for op in builder.operations]
+        # Figure 4: split at T0, move, merge into T1, reorder across T1's
+        # chain, split from T1, move, merge at T2.
+        assert kinds == [
+            OpKind.SPLIT, OpKind.MOVE, OpKind.MERGE, OpKind.SWAP_GATE,
+            OpKind.SPLIT, OpKind.MOVE, OpKind.MERGE,
+        ]
+        assert state.trap_of_qubit(1) == "T2"
+        # T1's population is unchanged after the pass-through.
+        assert len(state.chain("T1")) == 2
+        state.validate()
+
+    def test_split_annotated_with_chain_size_and_side(self, device):
+        state = make_state(device, {"T0": [0, 1, 2], "T1": []})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 2, "T1")
+        split = [op for op in builder.operations if isinstance(op, SplitOp)][0]
+        assert split.chain_size == 3
+        assert split.side == "tail"
+
+    def test_merge_side_faces_incoming_segment(self, device):
+        state = make_state(device, {"T0": [0], "T1": [1]})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 0, "T1")
+        merge = [op for op in builder.operations if isinstance(op, MergeOp)][0]
+        # Arriving from the left (T0), the ion joins T1's head.
+        assert merge.side == "head"
+        assert state.chain("T1").ions == (0, 1)
+
+    def test_noop_when_already_there(self, device):
+        state = make_state(device, {"T0": [0, 1]})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 0, "T0")
+        assert len(builder) == 0
+
+    def test_full_destination_rejected(self, device):
+        state = make_state(device, {"T0": [0], "T1": [1, 2, 3, 4, 5]})
+        builder = ProgramBuilder()
+        with pytest.raises(ValueError):
+            emit_shuttle(builder, state, device, 0, "T1")
+
+    def test_in_transit_qubit_rejected(self, device):
+        state = make_state(device, {"T0": [0, 1], "T1": []})
+        state.split("T0", 0)
+        with pytest.raises(ValueError):
+            emit_shuttle(ProgramBuilder(), state, device, 0, "T1")
+
+
+class TestGridShuttles:
+    @pytest.fixture
+    def device(self):
+        return build_device("G2x2", trap_capacity=5, num_qubits=12, reorder="GS")
+
+    def test_same_column_crosses_one_junction(self, device):
+        state = make_state(device, {"T0": [0, 1], "T2": [2]})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 1, "T2")
+        kinds = [op.kind for op in builder.operations]
+        assert kinds == [OpKind.SPLIT, OpKind.MOVE, OpKind.JUNCTION,
+                         OpKind.MOVE, OpKind.MERGE]
+        junction = [op for op in builder.operations if isinstance(op, JunctionCrossOp)][0]
+        assert junction.junction == "J0"
+
+    def test_cross_column_no_intermediate_traps(self, device):
+        state = make_state(device, {"T0": [0, 1], "T3": [2]})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 0, "T3")
+        kinds = [op.kind for op in builder.operations]
+        assert OpKind.MERGE not in kinds[:-1]  # only the final merge
+        assert kinds.count(OpKind.JUNCTION) == 2
+        assert kinds.count(OpKind.MOVE) == 3
+        state.validate()
+
+    def test_moves_record_segments(self, device):
+        state = make_state(device, {"T0": [0], "T1": [1]})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 0, "T1")
+        moves = [op for op in builder.operations if isinstance(op, MoveOp)]
+        assert all(op.segment.startswith("S") for op in moves)
+        assert moves[0].from_node == "T0"
+
+
+class TestISReordering:
+    def test_is_shuttle_uses_ion_swaps(self):
+        device = build_device("L2", trap_capacity=5, num_qubits=6, reorder="IS")
+        state = make_state(device, {"T0": [0, 1, 2], "T1": []})
+        builder = ProgramBuilder()
+        emit_shuttle(builder, state, device, 0, "T1")
+        kinds = [op.kind for op in builder.operations]
+        assert kinds.count(OpKind.ION_SWAP) == 2
+        assert OpKind.SWAP_GATE not in kinds
+        assert not any(isinstance(op, SwapGateOp) for op in builder.operations)

@@ -1,0 +1,149 @@
+"""Integration tests: the paper's qualitative claims on scaled-down instances.
+
+These tests run the complete toolflow (generator -> compiler -> simulator) on
+reduced application instances and check that the qualitative conclusions of
+Sections IX and X hold: they are the regression net for "the figures still
+have the right shape".  Absolute values are calibration-dependent and are NOT
+asserted here; EXPERIMENTS.md records those for the full-scale runs.
+"""
+
+import pytest
+
+from repro.apps import scaled_suite
+from repro.isa.operations import OpKind
+from repro.toolflow import ArchitectureConfig, run_experiment, run_gate_variants
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return scaled_suite(16)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return ArchitectureConfig(topology="L4", trap_capacity=8, gate="FM", reorder="GS")
+
+
+@pytest.fixture(scope="module")
+def records(suite, base_config):
+    """One record per application on the reference configuration."""
+
+    return {name: run_experiment(circuit, base_config)
+            for name, circuit in suite.items()}
+
+
+class TestSectionIXTrapSizing:
+    def test_communication_light_apps_have_high_fidelity(self, records):
+        """BV and Adder stay reliable even on small traps (Figure 6c)."""
+
+        assert records["BV"].fidelity > 0.9
+        assert records["Adder"].fidelity > 0.5
+
+    def test_communication_heavy_apps_lose_fidelity(self, records):
+        """QFT (all-to-all) loses far more fidelity than BV (Figure 6c vs 6e).
+
+        At this reduced scale both survive, so the claim is checked on the
+        error rate rather than on absolute fidelity.
+        """
+
+        qft_error = records["QFT"].result.error_rate
+        bv_error = records["BV"].result.error_rate
+        assert records["QFT"].fidelity < records["BV"].fidelity
+        assert qft_error > 5 * bv_error
+
+    def test_small_traps_hurt_communication_heavy_apps(self, suite):
+        """Very small traps force more shuttling and lower fidelity (Fig. 6)."""
+
+        tiny = ArchitectureConfig(topology="L4", trap_capacity=6, gate="FM")
+        medium = ArchitectureConfig(topology="L4", trap_capacity=12, gate="FM")
+        qft_tiny = run_experiment(suite["QFT"], tiny)
+        qft_medium = run_experiment(suite["QFT"], medium)
+        assert qft_tiny.num_shuttles > qft_medium.num_shuttles
+        assert qft_tiny.result.max_motional_energy > qft_medium.result.max_motional_energy
+
+    def test_motional_error_dominates_background(self, records):
+        """Figure 6g: gate error is dominated by the motional term."""
+
+        supremacy = records["Supremacy"].result
+        assert supremacy.mean_motional_error > supremacy.mean_background_error
+
+    def test_shuttling_is_the_source_of_heating(self, records):
+        """Apps with more shuttles accumulate more motional energy."""
+
+        ordered = sorted(records.values(), key=lambda record: record.num_shuttles)
+        assert ordered[0].result.max_motional_energy <= \
+            ordered[-1].result.max_motional_energy
+
+
+class TestSectionIXTopology:
+    def test_linear_works_for_nearest_neighbour_apps(self, suite):
+        """QAOA maps well onto the linear topology (Section IX.B)."""
+
+        linear = run_experiment(suite["QAOA"],
+                                ArchitectureConfig(topology="L4", trap_capacity=8))
+        grid = run_experiment(suite["QAOA"],
+                              ArchitectureConfig(topology="G2x2", trap_capacity=8))
+        assert linear.fidelity >= grid.fidelity * 0.5
+        assert linear.duration_seconds <= grid.duration_seconds * 1.5
+
+    def test_topology_changes_communication_primitives(self, suite):
+        """Grid devices cross junctions; linear devices pass through traps."""
+
+        linear = ArchitectureConfig(topology="L4", trap_capacity=8)
+        grid = ArchitectureConfig(topology="G2x2", trap_capacity=8)
+        linear_record = run_experiment(suite["SquareRoot"], linear)
+        grid_record = run_experiment(suite["SquareRoot"], grid)
+        assert linear_record.result.count(OpKind.JUNCTION) == 0
+        assert grid_record.result.count(OpKind.JUNCTION) > 0
+
+
+class TestSectionXMicroarchitecture:
+    def test_gs_beats_is_for_communication_heavy_apps(self, suite, base_config):
+        """Gate-based swapping is superior to physical ion swapping (Fig. 8)."""
+
+        gs = run_experiment(suite["QFT"], base_config)
+        is_ = run_experiment(suite["QFT"], base_config.with_updates(reorder="IS"))
+        assert gs.fidelity > is_.fidelity
+
+    def test_gs_and_is_identical_for_qaoa(self, suite, base_config):
+        """QAOA needs no reordering, so GS and IS coincide (Figure 8c)."""
+
+        gs = run_experiment(suite["QAOA"], base_config)
+        is_ = run_experiment(suite["QAOA"], base_config.with_updates(reorder="IS"))
+        assert gs.fidelity == pytest.approx(is_.fidelity)
+        assert gs.duration_seconds == pytest.approx(is_.duration_seconds)
+
+    def test_fm_beats_am1_for_long_range_apps(self, suite, base_config):
+        """FM (distance-independent) wins for QFT's long-range gates."""
+
+        variants = run_gate_variants(suite["QFT"], base_config, gates=("AM1", "FM"))
+        assert variants["FM"].fidelity > variants["AM1"].fidelity
+        assert variants["FM"].duration_seconds < variants["AM1"].duration_seconds
+
+    def test_am2_competitive_for_nearest_neighbour_apps(self, suite, base_config):
+        """AM2's fast short-range gates suit QAOA (Section X.A)."""
+
+        variants = run_gate_variants(suite["QAOA"], base_config, gates=("AM2", "FM"))
+        assert variants["AM2"].duration_seconds < variants["FM"].duration_seconds
+        assert variants["AM2"].fidelity >= variants["FM"].fidelity * 0.8
+
+    def test_gate_choice_does_not_change_program(self, suite, base_config):
+        variants = run_gate_variants(suite["Supremacy"], base_config)
+        sizes = {record.program_size for record in variants.values()}
+        assert len(sizes) == 1
+
+
+class TestEndToEndConsistency:
+    def test_records_expose_consistent_metrics(self, records):
+        for record in records.values():
+            result = record.result
+            assert result.duration >= result.computation_time
+            assert result.duration == pytest.approx(
+                result.computation_time + result.communication_time)
+            assert result.num_shuttles == record.num_shuttles
+            assert 0.0 <= result.fidelity <= 1.0
+
+    def test_every_application_compiles_and_runs(self, records, suite):
+        assert set(records) == set(suite)
+        for name, record in records.items():
+            assert record.result.count(OpKind.GATE_2Q) == suite[name].num_two_qubit_gates

@@ -1,0 +1,78 @@
+"""Unit tests for JSON serialisation of programs, results and sweeps."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    figure_bundle_to_dict,
+    load_json,
+    program_to_dict,
+    records_to_json,
+    result_to_dict,
+    save_json,
+)
+from repro.toolflow import ArchitectureConfig, figure6, run_experiment
+
+
+class TestProgramSerialization:
+    def test_round_trip_structure(self, compiled_qft8, tmp_path):
+        program, _ = compiled_qft8
+        payload = program_to_dict(program)
+        path = save_json(payload, tmp_path / "program.json")
+        loaded = load_json(path)
+        assert loaded["num_operations"] == len(program)
+        assert len(loaded["operations"]) == len(program)
+        assert loaded["circuit"] == program.circuit_name
+
+    def test_operations_carry_kind_and_dependencies(self, compiled_qft8):
+        program, _ = compiled_qft8
+        payload = program_to_dict(program)
+        for entry, op in zip(payload["operations"], program.operations):
+            assert entry["kind"] == op.kind.value
+            assert entry["dependencies"] == list(op.dependencies)
+
+    def test_placement_serialised(self, compiled_qft8):
+        program, _ = compiled_qft8
+        payload = program_to_dict(program)
+        assert set(payload["placement"]) == {"qubit_to_ion", "ion_to_trap", "trap_chains"}
+        assert len(payload["placement"]["qubit_to_ion"]) == 8
+
+    def test_json_serialisable(self, compiled_qft8):
+        program, _ = compiled_qft8
+        json.dumps(program_to_dict(program))
+
+
+class TestResultSerialization:
+    def test_metrics_present(self, simulated_qft8):
+        _, _, result = simulated_qft8
+        payload = result_to_dict(result)
+        assert payload["fidelity"] == pytest.approx(result.fidelity)
+        assert payload["duration_s"] == pytest.approx(result.duration_seconds)
+        assert "timeline" not in payload
+
+    def test_timeline_optional(self, simulated_qft8):
+        _, _, result = simulated_qft8
+        payload = result_to_dict(result, include_timeline=True)
+        assert len(payload["timeline"]) == len(result.timeline)
+        json.dumps(payload)
+
+    def test_records_to_json(self, qaoa8, small_config):
+        record = run_experiment(qaoa8, small_config)
+        rows = records_to_json([record])
+        assert rows[0]["application"] == qaoa8.name
+        assert rows[0]["config"]["topology"] == small_config.topology
+        json.dumps(rows)
+
+
+class TestBundleSerialization:
+    def test_figure_bundle(self, small_suite, tmp_path):
+        bundle = figure6({"QFT": small_suite["QFT"]}, capacities=(6, 8),
+                         base=ArchitectureConfig(topology="L3"))
+        payload = figure_bundle_to_dict(bundle)
+        assert payload["capacities"] == [6, 8]
+        assert payload["config"]["topology"] == "L3"
+        path = save_json(payload, tmp_path / "nested" / "fig6.json")
+        assert path.exists()
+        loaded = load_json(path)
+        assert loaded["fidelity"]["QFT"] == payload["fidelity"]["QFT"]

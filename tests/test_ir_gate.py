@@ -1,0 +1,106 @@
+"""Unit tests for the Gate IR node."""
+
+import pytest
+
+from repro.ir.gate import (
+    Gate,
+    GateKind,
+    SINGLE_QUBIT_NAMES,
+    TWO_QUBIT_NAMES,
+    classify,
+)
+
+
+class TestClassify:
+    def test_single_qubit_names(self):
+        for name in ("h", "x", "rz", "t", "sdg"):
+            assert classify(name) is GateKind.SINGLE_QUBIT
+
+    def test_two_qubit_names(self):
+        for name in ("cx", "cz", "ms", "rzz", "swap"):
+            assert classify(name) is GateKind.TWO_QUBIT
+
+    def test_measurement(self):
+        assert classify("measure") is GateKind.MEASUREMENT
+
+    def test_case_insensitive(self):
+        assert classify("CX") is GateKind.TWO_QUBIT
+        assert classify("H") is GateKind.SINGLE_QUBIT
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            classify("frobnicate")
+
+    def test_name_sets_disjoint(self):
+        assert not (SINGLE_QUBIT_NAMES & TWO_QUBIT_NAMES)
+
+
+class TestGateConstruction:
+    def test_single_qubit_gate(self):
+        gate = Gate("h", (3,))
+        assert gate.is_single_qubit
+        assert not gate.is_two_qubit
+        assert gate.kind is GateKind.SINGLE_QUBIT
+
+    def test_two_qubit_gate(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.is_two_qubit
+        assert gate.qubits == (0, 1)
+
+    def test_measurement_gate(self):
+        gate = Gate("measure", (2,))
+        assert gate.is_measurement
+
+    def test_params_stored(self):
+        gate = Gate("rz", (0,), (0.5,))
+        assert gate.params == (0.5,)
+
+    def test_wrong_arity_single(self):
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1))
+
+    def test_wrong_arity_two_qubit(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("h", (-1,))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("nonsense", (0,))
+
+    def test_barrier_requires_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("barrier", ())
+
+    def test_gate_is_hashable_and_frozen(self):
+        gate = Gate("cx", (0, 1))
+        assert hash(gate) == hash(Gate("cx", (0, 1)))
+        with pytest.raises(AttributeError):
+            gate.name = "cz"
+
+
+class TestGateProperties:
+    def test_symmetric_gates(self):
+        assert Gate("cz", (0, 1)).is_symmetric
+        assert Gate("rzz", (0, 1), (0.3,)).is_symmetric
+        assert not Gate("cx", (0, 1)).is_symmetric
+
+    def test_remap(self):
+        gate = Gate("cx", (0, 1))
+        remapped = gate.remap({0: 5, 1: 7})
+        assert remapped.qubits == (5, 7)
+        assert remapped.name == "cx"
+
+    def test_remap_preserves_params(self):
+        gate = Gate("rz", (2,), (1.5,))
+        assert gate.remap({2: 0}).params == (1.5,)
+
+    def test_str_contains_name(self):
+        assert "cx" in str(Gate("cx", (0, 1)))

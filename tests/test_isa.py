@@ -1,0 +1,170 @@
+"""Unit tests for the QCCD ISA: operations and the compiled program container."""
+
+import pytest
+
+from repro.isa.operations import (
+    GateOp,
+    IonSwapOp,
+    JunctionCrossOp,
+    MergeOp,
+    MeasureOp,
+    MoveOp,
+    OpKind,
+    SplitOp,
+    SwapGateOp,
+)
+from repro.isa.program import InitialPlacement, QCCDProgram
+
+
+class TestOpKind:
+    def test_communication_classification(self):
+        assert OpKind.SPLIT.is_communication
+        assert OpKind.MOVE.is_communication
+        assert OpKind.SWAP_GATE.is_communication
+        assert OpKind.ION_SWAP.is_communication
+        assert not OpKind.GATE_2Q.is_communication
+        assert not OpKind.MEASURE.is_communication
+
+
+class TestOperationValidation:
+    def test_gate_op_fields(self):
+        op = GateOp(op_id=0, trap="T0", ions=(1, 2), qubits=(1, 2), name="cx",
+                    chain_length=4, ion_distance=1)
+        assert op.is_two_qubit
+        assert op.kind is OpKind.GATE_2Q
+        assert op.resources == ("T0",)
+
+    def test_single_qubit_gate_kind(self):
+        op = GateOp(op_id=0, trap="T0", ions=(1,), qubits=(1,), name="h", chain_length=1)
+        assert op.kind is OpKind.GATE_1Q
+
+    def test_gate_op_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            GateOp(op_id=0, trap="T0", ions=(1, 2), qubits=(1, 2), name="cx",
+                   chain_length=3, ion_distance=5)
+
+    def test_gate_op_requires_trap(self):
+        with pytest.raises(ValueError):
+            GateOp(op_id=0, ions=(1,), qubits=(1,), name="h", chain_length=1)
+
+    def test_gate_op_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            GateOp(op_id=0, trap="T0", ions=(1, 2), qubits=(1,), name="cx", chain_length=2)
+
+    def test_dependencies_must_be_earlier(self):
+        with pytest.raises(ValueError):
+            SplitOp(op_id=3, dependencies=(5,), trap="T0", ion=0, chain_size=2)
+
+    def test_swap_gate_constants(self):
+        assert SwapGateOp.MS_GATES_PER_SWAP == 3
+        op = SwapGateOp(op_id=0, trap="T0", ions=(0, 1), qubits=(0, 1),
+                        chain_length=5, ion_distance=3)
+        assert op.kind is OpKind.SWAP_GATE
+
+    def test_swap_gate_distinct_ions(self):
+        with pytest.raises(ValueError):
+            SwapGateOp(op_id=0, trap="T0", ions=(1, 1), qubits=(0, 1), chain_length=3)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            SplitOp(op_id=0, trap="T0", ion=0, chain_size=0)
+        with pytest.raises(ValueError):
+            SplitOp(op_id=0, trap="T0", ion=0, chain_size=2, side="middle")
+
+    def test_move_validation(self):
+        op = MoveOp(op_id=0, ion=0, segment="S1", length=2, from_node="T0", to_node="J0")
+        assert op.resources == ("S1",)
+        with pytest.raises(ValueError):
+            MoveOp(op_id=0, ion=0, segment="S1", length=0)
+
+    def test_junction_validation(self):
+        op = JunctionCrossOp(op_id=0, ion=0, junction="J0", junction_degree=4)
+        assert op.resources == ("J0",)
+        with pytest.raises(ValueError):
+            JunctionCrossOp(op_id=0, ion=0, junction="", junction_degree=3)
+
+    def test_merge_and_measure(self):
+        assert MergeOp(op_id=0, trap="T1", ion=2, side="head").kind is OpKind.MERGE
+        assert MeasureOp(op_id=0, trap="T1", ion=2, qubit=2).kind is OpKind.MEASURE
+
+    def test_ion_swap_validation(self):
+        op = IonSwapOp(op_id=0, trap="T0", ions=(0, 1), chain_size=4)
+        assert op.kind is OpKind.ION_SWAP
+        with pytest.raises(ValueError):
+            IonSwapOp(op_id=0, trap="T0", ions=(0, 0), chain_size=4)
+
+
+class TestInitialPlacement:
+    def test_consistent_placement(self):
+        placement = InitialPlacement(
+            qubit_to_ion={0: 0, 1: 1},
+            ion_to_trap={0: "T0", 1: "T1"},
+            trap_chains={"T0": (0,), "T1": (1,)},
+        )
+        assert placement.trap_of_qubit(1) == "T1"
+        assert placement.occupancy() == {"T0": 1, "T1": 1}
+
+    def test_ion_in_two_chains_rejected(self):
+        with pytest.raises(ValueError):
+            InitialPlacement(qubit_to_ion={}, ion_to_trap={},
+                             trap_chains={"T0": (0,), "T1": (0,)})
+
+    def test_ion_trap_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            InitialPlacement(qubit_to_ion={0: 0}, ion_to_trap={0: "T1"},
+                             trap_chains={"T0": (0,), "T1": ()})
+
+    def test_qubit_on_unplaced_ion_rejected(self):
+        with pytest.raises(ValueError):
+            InitialPlacement(qubit_to_ion={0: 7}, ion_to_trap={},
+                             trap_chains={"T0": ()})
+
+
+class TestQCCDProgram:
+    @pytest.fixture
+    def program(self):
+        placement = InitialPlacement(
+            qubit_to_ion={0: 0, 1: 1},
+            ion_to_trap={0: "T0", 1: "T0"},
+            trap_chains={"T0": (0, 1), "T1": ()},
+        )
+        ops = [
+            GateOp(op_id=0, trap="T0", ions=(0,), qubits=(0,), name="h", chain_length=2),
+            GateOp(op_id=1, dependencies=(0,), trap="T0", ions=(0, 1), qubits=(0, 1),
+                   name="cx", chain_length=2),
+            SplitOp(op_id=2, dependencies=(1,), trap="T0", ion=1, chain_size=2),
+            MoveOp(op_id=3, dependencies=(2,), ion=1, segment="S0",
+                   from_node="T0", to_node="T1"),
+            MergeOp(op_id=4, dependencies=(3,), trap="T1", ion=1),
+        ]
+        return QCCDProgram(operations=ops, placement=placement, circuit_name="demo")
+
+    def test_counts(self, program):
+        assert len(program) == 5
+        assert program.num_two_qubit_gates == 1
+        assert program.num_shuttles == 1
+        assert program.num_communication_ops == 3
+
+    def test_communication_summary(self, program):
+        summary = program.communication_summary()
+        assert summary["splits"] == 1
+        assert summary["moves"] == 1
+        assert summary["merges"] == 1
+        assert summary["swap_gates"] == 0
+
+    def test_validate_passes(self, program):
+        program.validate()
+
+    def test_validate_rejects_unknown_ion(self, program):
+        program.operations.append(
+            MergeOp(op_id=5, trap="T1", ion=99))
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_dense_ids_enforced(self, program):
+        with pytest.raises(ValueError):
+            QCCDProgram(operations=[program.operations[1]], placement=program.placement)
+
+    def test_iteration_and_indexing(self, program):
+        assert program[0].kind is OpKind.GATE_1Q
+        assert [op.op_id for op in program] == [0, 1, 2, 3, 4]
