@@ -1,0 +1,215 @@
+"""Pipeline-scale benchmark: compile, simulate and full-sweep wall time.
+
+Records the throughput trajectory of the fast-path rewrite along four axes:
+
+1. **Per-app compile and simulate time** on the largest suite circuits,
+   compared against ``data/seed_baseline.json`` (timings of the seed
+   implementation recorded on the original machine).
+2. **Engine A/B**: the fused single-pass engine versus the verbatim seed
+   engine (``_legacy_engine.py``) on identical compiled programs -- an
+   in-situ comparison that is valid on any machine, and doubles as a
+   bit-identical cross-check of every headline metric.
+3. **Figure 8-style end-to-end sweep** (capacity x reorder x gate over the
+   full suite): serial seed baseline versus the optimized pipeline, plus the
+   warm-cache re-sweep that shows what the program memo buys repeated
+   exploration.  At paper scale on the baseline machine the optimized sweep
+   must be >= 3x the recorded seed time.
+4. **Operation memory**: slotted versus dict-backed per-op footprint.
+
+Default scale is small; set ``REPRO_BENCH_SCALE=paper`` for the full Table II
+suite (the configuration the recorded baseline uses).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+import pytest
+
+import _legacy_engine
+from _common import bench_scale, bench_suite
+
+from repro.io.fingerprint import result_fingerprint
+from repro.isa.operations import GateOp
+from repro.sim.engine import simulate
+from repro.toolflow import ArchitectureConfig, ProgramCache, sweep_microarchitecture
+from repro.toolflow.runner import compile_for
+
+BASELINE_PATH = Path(__file__).parent / "data" / "seed_baseline.json"
+
+#: Sweep spec mirroring the recorded seed baseline: full suite, two
+#: capacities, both reorder methods, all four gate implementations.
+SWEEP_GATES = ("AM1", "AM2", "PM", "FM")
+SWEEP_REORDERS = ("GS", "IS")
+
+
+def _sweep_spec() -> Tuple[str, Tuple[int, int]]:
+    if bench_scale() == "paper":
+        return "L6", (18, 26)
+    return "L4", (6, 8)
+
+
+def _baseline() -> Optional[dict]:
+    if not BASELINE_PATH.exists():
+        return None
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def _baseline_comparable(baseline: Optional[dict]) -> bool:
+    """The recorded timings are only meaningful on the machine that made them."""
+
+    return (baseline is not None and bench_scale() == "paper"
+            and baseline.get("machine") == platform.platform())
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# --------------------------------------------------------------------------- #
+def test_compile_and_simulate_units(benchmark):
+    """Per-app compile/simulate wall time at the reference design point."""
+
+    suite = bench_suite()
+    topology, capacities = _sweep_spec()
+    config = ArchitectureConfig(topology=topology,
+                                trap_capacity=capacities[-1] if bench_scale() == "small" else 22)
+    baseline = _baseline()
+    comparable = _baseline_comparable(baseline)
+
+    print()
+    print(f"Per-app pipeline timings (scale={bench_scale()}, {config.name}):")
+    header = f"  {'app':12s} {'compile':>10s} {'simulate':>10s}"
+    if comparable:
+        header += f" {'seed comp.':>11s} {'seed sim.':>10s}"
+    print(header)
+    for name, circuit in suite.items():
+        compile_s = _best_of(lambda: compile_for(circuit, config))
+        program, device = compile_for(circuit, config)
+        simulate_s = _best_of(lambda: simulate(program, device))
+        line = f"  {name:12s} {compile_s * 1e3:8.1f}ms {simulate_s * 1e3:8.1f}ms"
+        if comparable:
+            seed_c = baseline["compile_s"].get(name)
+            seed_s = baseline["simulate_s"].get(name)
+            if seed_c and seed_s:
+                line += f" {seed_c / compile_s:9.2f}x {seed_s / simulate_s:8.2f}x"
+        print(line)
+
+    qft = suite["QFT"]
+    benchmark(lambda: compile_for(qft, config))
+
+
+def test_engine_fused_vs_legacy(benchmark):
+    """Fused engine vs. the seed three-pass engine on identical programs."""
+
+    suite = bench_suite()
+    topology, capacities = _sweep_spec()
+    config = ArchitectureConfig(topology=topology, trap_capacity=capacities[-1])
+    compiled = {name: compile_for(circuit, config) for name, circuit in suite.items()}
+
+    # Bit-identical cross-check on every program.
+    for name, (program, device) in compiled.items():
+        fused = simulate(program, device)
+        legacy = _legacy_engine.simulate(program, device)
+        assert result_fingerprint(fused) == result_fingerprint(legacy), (
+            f"fused engine diverged from the seed engine on {name}"
+        )
+
+    def run_all(engine):
+        for program, device in compiled.values():
+            engine(program, device)
+
+    legacy_s = _best_of(lambda: run_all(_legacy_engine.simulate))
+    fused_s = _best_of(lambda: run_all(simulate))
+    print()
+    print(f"Simulation engine A/B over the suite (scale={bench_scale()}):")
+    print(f"  legacy 3-pass engine : {legacy_s * 1e3:8.1f} ms")
+    print(f"  fused  1-pass engine : {fused_s * 1e3:8.1f} ms   "
+          f"({legacy_s / fused_s:.2f}x)")
+    assert fused_s <= legacy_s, "fused engine slower than the seed engine"
+
+    program, device = compiled["QFT"]
+    benchmark(lambda: simulate(program, device))
+
+
+def test_fig8_sweep_end_to_end(benchmark):
+    """Figure 8-style sweep: optimized pipeline vs. the recorded seed run."""
+
+    suite = bench_suite()
+    topology, capacities = _sweep_spec()
+    base = ArchitectureConfig(topology=topology)
+
+    def run_sweep(cache):
+        return sweep_microarchitecture(suite, capacities=capacities,
+                                       gates=SWEEP_GATES, reorders=SWEEP_REORDERS,
+                                       base=base, cache=cache)
+
+    cold_s = _best_of(lambda: run_sweep(ProgramCache()))
+    records = run_sweep(ProgramCache())
+
+    warm_cache = ProgramCache()
+    run_sweep(warm_cache)
+    warm_s = _best_of(lambda: run_sweep(warm_cache))
+
+    baseline = _baseline()
+    comparable = _baseline_comparable(baseline)
+    print()
+    print(f"Fig. 8-style sweep (scale={bench_scale()}, {len(records)} design points):")
+    print(f"  optimized, cold cache: {cold_s:8.3f} s")
+    print(f"  optimized, warm cache: {warm_s:8.3f} s   (memoized re-sweep)")
+    if comparable:
+        seed_s = baseline["fig8_sweep_s"]
+        speedup = seed_s / cold_s
+        print(f"  seed implementation  : {seed_s:8.3f} s   "
+              f"(recorded; speedup {speedup:.2f}x cold, {seed_s / warm_s:.2f}x warm)")
+        assert speedup >= 3.0, (
+            f"end-to-end sweep speedup {speedup:.2f}x fell below the 3x target"
+        )
+    assert warm_s < cold_s, "program cache should make re-sweeps cheaper"
+
+    benchmark.pedantic(lambda: run_sweep(ProgramCache()), rounds=2, iterations=1)
+
+
+def test_operation_memory_footprint():
+    """Slotted ops vs. an equivalent dict-backed op (the seed layout)."""
+
+    @dataclass(frozen=True)
+    class DictGateOp:  # the seed's layout: no __slots__, per-instance __dict__
+        op_id: int
+        dependencies: tuple
+        trap: str
+        ions: tuple
+        qubits: tuple
+        name: str
+        chain_length: int
+        ion_distance: int
+
+    slotted = GateOp(op_id=1, dependencies=(0,), trap="t0", ions=(1, 2),
+                     qubits=(0, 1), name="cx", chain_length=12, ion_distance=3)
+    dict_op = DictGateOp(op_id=1, dependencies=(0,), trap="t0", ions=(1, 2),
+                         qubits=(0, 1), name="cx", chain_length=12, ion_distance=3)
+    slotted_bytes = sys.getsizeof(slotted)
+    dict_bytes = sys.getsizeof(dict_op) + sys.getsizeof(dict_op.__dict__)
+    print()
+    print("Per-operation memory:")
+    print(f"  slotted GateOp     : {slotted_bytes:4d} B")
+    print(f"  dict-backed GateOp : {dict_bytes:4d} B   "
+          f"({dict_bytes / slotted_bytes:.1f}x larger)")
+    assert not hasattr(slotted, "__dict__")
+    assert slotted_bytes < dict_bytes
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-s", "-q", "--benchmark-disable"]))

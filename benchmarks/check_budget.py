@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""CI guard: fail when the compile+simulate hot path exceeds its budget.
+
+Thin wrapper over ``python -m repro check-budget`` (one implementation, one
+output format): runs the quickstart-style unit (32-qubit QAOA on an L6
+device, compile plus simulate, best of three) and exits non-zero when it
+exceeds the wall-time budget (default 0.5 s; override with ``REPRO_BUDGET_S``
+or ``--budget-s``).  The same check also exists as the ``budget``-marked
+pytest test, so future PRs cannot silently regress the sweep hot path.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_budget.py [--budget-s 0.5]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["check-budget", *sys.argv[1:]]))

@@ -8,4 +8,5 @@ editable builds.
 
 from setuptools import setup
 
-setup()
+# The ISA operation dataclasses use ``slots=True`` (Python 3.10+).
+setup(python_requires=">=3.10")

@@ -8,7 +8,14 @@ designers can explore configurations without writing scripts::
     python -m repro table2
     python -m repro run --app QAOA --topology L6 --capacity 20 --gate FM --reorder GS
     python -m repro sweep --figure 6 --small --output fig6.json
+    python -m repro sweep --figure 8 --jobs 4
     python -m repro device --topology G2x3 --capacity 20
+    python -m repro check-budget
+
+Sweeps share one compiled-program cache per invocation, so design points that
+differ only in the two-qubit gate implementation (or that repeat across
+figures) are compiled once; ``--jobs N`` additionally fans the sweep out to N
+worker processes with identical, deterministic output.
 
 Every subcommand prints human-readable text; ``--output`` additionally writes
 the underlying data as JSON (via :mod:`repro.io`).
@@ -41,6 +48,20 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="chain reordering method (default: GS)")
     parser.add_argument("--buffer", type=int, default=2,
                         help="buffer slots per trap for incoming shuttles (default: 2)")
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError("must be a positive number")
+    return number
 
 
 def _config_from_args(args) -> ArchitectureConfig:
@@ -77,12 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="paper figure number to regenerate")
     sweep.add_argument("--small", action="store_true",
                        help="use the reduced suite and a short capacity sweep")
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes for the sweep (default: 1 = serial; "
+                            "results are deterministic for any value)")
     sweep.add_argument("--output", default=None, help="write the series as JSON")
 
     device = subparsers.add_parser("device", help="describe a candidate device")
     device.add_argument("--qubits", type=int, default=None,
                         help="ions to load (default: usable capacity)")
     _add_config_arguments(device)
+
+    budget = subparsers.add_parser(
+        "check-budget",
+        help="guard the compile+simulate hot path against wall-time regressions")
+    budget.add_argument("--budget-s", type=_positive_float, default=None,
+                        help="wall-time budget in seconds for the quickstart-style "
+                             "compile+simulate unit (default: 0.5, or "
+                             "REPRO_BUDGET_S)")
 
     return parser
 
@@ -153,13 +185,16 @@ def _cmd_sweep(args) -> int:
 
     if args.figure == 6:
         bundle = figure6(suite, capacities=capacities,
-                         base=base_linear.with_updates(gate="FM", reorder="GS"))
+                         base=base_linear.with_updates(gate="FM", reorder="GS"),
+                         jobs=args.jobs)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
     elif args.figure == 7:
-        bundle = figure7(suite, capacities=capacities, topologies=topologies)
+        bundle = figure7(suite, capacities=capacities, topologies=topologies,
+                         jobs=args.jobs)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
     else:
-        bundle = figure8(suite, capacities=capacities, base=base_linear)
+        bundle = figure8(suite, capacities=capacities, base=base_linear,
+                         jobs=args.jobs)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
 
     print(f"Figure {args.figure} series over capacities {list(capacities)}:")
@@ -178,6 +213,16 @@ def _cmd_device(args) -> int:
     device = config.build_device(args.qubits)
     print(device_report(device))
     return 0
+
+
+def _cmd_check_budget(args) -> int:
+    from repro.toolflow.budget import check_budget
+
+    outcome = check_budget(args.budget_s)
+    status = "OK" if outcome["ok"] else "OVER BUDGET"
+    print(f"quickstart compile+simulate: {outcome['elapsed_s'] * 1e3:.1f} ms "
+          f"(budget {outcome['budget_s'] * 1e3:.0f} ms) -- {status}")
+    return 0 if outcome["ok"] else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -200,6 +245,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "device":
         return _cmd_device(args)
+    if args.command == "check-budget":
+        return _cmd_check_budget(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

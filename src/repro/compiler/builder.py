@@ -42,14 +42,17 @@ class ProgramBuilder:
         return len(self.operations)
 
     def _dependencies(self, ions: Iterable[int], traps: Iterable[str]) -> Tuple[int, ...]:
-        deps = set()
-        for ion in ions:
-            if ion in self._last_for_ion:
-                deps.add(self._last_for_ion[ion])
+        last_for_ion = self._last_for_ion
+        last_for_trap = self._last_for_trap
+        deps = {
+            last_for_ion[ion] for ion in ions if ion in last_for_ion
+        }
         for trap in traps:
-            if trap in self._last_for_trap:
-                deps.add(self._last_for_trap[trap])
-        return tuple(sorted(deps))
+            if trap in last_for_trap:
+                deps.add(last_for_trap[trap])
+        if len(deps) > 1:
+            return tuple(sorted(deps))
+        return tuple(deps)
 
     def _register(self, op: Operation, ions: Iterable[int], traps: Iterable[str]) -> Operation:
         self.operations.append(op)

@@ -68,12 +68,15 @@ class CompilerOptions:
 class _NextUseTracker:
     """Answers "when is this qubit needed next?" for the eviction policy."""
 
-    def __init__(self, circuit: Circuit) -> None:
-        self._uses: Dict[int, List[int]] = {}
-        for index, gate in enumerate(circuit.gates):
-            if gate.kind is GateKind.TWO_QUBIT:
-                for qubit in gate.qubits:
-                    self._uses.setdefault(qubit, []).append(index)
+    def __init__(self, circuit: Circuit,
+                 uses: Optional[Dict[int, List[int]]] = None) -> None:
+        if uses is None:
+            uses = {}
+            for index, gate in enumerate(circuit.gates):
+                if gate.kind is GateKind.TWO_QUBIT:
+                    for qubit in gate.qubits:
+                        uses.setdefault(qubit, []).append(index)
+        self._uses: Dict[int, List[int]] = uses
         self._pointers: Dict[int, int] = {qubit: 0 for qubit in self._uses}
         self._emitted: set = set()
 
@@ -111,23 +114,43 @@ def compile_circuit(circuit: Circuit, device: QCCDDevice,
     state: PlacementState = options.mapping_fn()(circuit, device)
     placement = state.snapshot_placement()
     builder = ProgramBuilder()
-    next_use = _NextUseTracker(circuit)
+
+    # One preprocessing pass derives everything the loop needs per two-qubit
+    # gate: operand table (scheduler locality), interaction histogram (router
+    # affinity) and per-qubit use lists (eviction policy), with a single kind
+    # classification per gate.
+    two_qubit_operands: Dict[int, tuple] = {}
+    interaction_weights: Dict[tuple, int] = {}
+    uses: Dict[int, List[int]] = {}
+    for index, gate in enumerate(circuit):
+        if gate.kind is not GateKind.TWO_QUBIT:
+            continue
+        qubit_a, qubit_b = gate.qubits
+        two_qubit_operands[index] = gate.qubits
+        key = (qubit_a, qubit_b) if qubit_a < qubit_b else (qubit_b, qubit_a)
+        interaction_weights[key] = interaction_weights.get(key, 0) + 1
+        uses.setdefault(qubit_a, []).append(index)
+        uses.setdefault(qubit_b, []).append(index)
+
+    next_use = _NextUseTracker(circuit, uses=uses)
     router = Router(state, device, next_use=next_use.next_use,
-                    interaction_weights=circuit.interaction_counts(),
+                    interaction_weights=interaction_weights,
                     policy=options.routing)
+    trap_of_qubit = state.trap_of_qubit
 
     def is_local(gate_index: int) -> bool:
-        gate = circuit[gate_index]
-        if gate.kind is not GateKind.TWO_QUBIT:
+        operands = two_qubit_operands.get(gate_index)
+        if operands is None:
             return True
-        trap_a = state.trap_of_qubit(gate.qubits[0])
-        trap_b = state.trap_of_qubit(gate.qubits[1])
-        return trap_a == trap_b
+        return trap_of_qubit(operands[0]) == trap_of_qubit(operands[1])
 
-    scheduler = GateScheduler(circuit, is_local=is_local)
+    scheduler = GateScheduler(circuit, is_local=is_local,
+                              two_qubit_operands=two_qubit_operands)
     while not scheduler.done():
         index = scheduler.next_gate()
-        _emit_gate(circuit[index], builder, state, device, router)
+        moved_qubits = _emit_gate(circuit[index], builder, state, device, router)
+        if moved_qubits:
+            scheduler.note_qubits_moved(moved_qubits)
         next_use.mark_emitted(index)
         scheduler.mark_done(index)
 
@@ -154,19 +177,23 @@ def compile_circuit(circuit: Circuit, device: QCCDDevice,
 
 # --------------------------------------------------------------------------- #
 def _emit_gate(gate: Gate, builder: ProgramBuilder, state: PlacementState,
-               device: QCCDDevice, router: Router) -> None:
-    """Emit one IR gate (plus any communication it needs)."""
+               device: QCCDDevice, router: Router) -> List[int]:
+    """Emit one IR gate (plus any communication it needs).
+
+    Returns the program qubits whose trap changed while emitting the gate, so
+    the compile loop can invalidate the scheduler's and router's caches.
+    """
 
     kind = gate.kind
     if kind is GateKind.BARRIER:
-        return
+        return []
     if kind is GateKind.SINGLE_QUBIT:
         _emit_single_qubit(gate, builder, state)
-        return
+        return []
     if kind is GateKind.MEASUREMENT:
         _emit_measurement(gate, builder, state)
-        return
-    _emit_two_qubit(gate, builder, state, device, router)
+        return []
+    return _emit_two_qubit(gate, builder, state, device, router)
 
 
 def _emit_single_qubit(gate: Gate, builder: ProgramBuilder, state: PlacementState) -> None:
@@ -185,12 +212,16 @@ def _emit_measurement(gate: Gate, builder: ProgramBuilder, state: PlacementState
 
 
 def _emit_two_qubit(gate: Gate, builder: ProgramBuilder, state: PlacementState,
-                    device: QCCDDevice, router: Router) -> None:
+                    device: QCCDDevice, router: Router) -> List[int]:
     qubit_a, qubit_b = gate.qubits
     plan = router.plan_two_qubit_gate(qubit_a, qubit_b)
+    moved: List[int] = []
     if plan is not None:
         for request in plan.all_shuttles:
+            source = state.trap_of_qubit(request.qubit)
             emit_shuttle(builder, state, device, request.qubit, request.destination)
+            router.note_qubit_moved(request.qubit, source, request.destination)
+            moved.append(request.qubit)
 
     trap = state.trap_of_qubit(qubit_a)
     other = state.trap_of_qubit(qubit_b)
@@ -210,3 +241,4 @@ def _emit_two_qubit(gate: Gate, builder: ProgramBuilder, state: PlacementState,
         chain_length=len(chain),
         ion_distance=chain.distance_between(ion_a, ion_b),
     )
+    return moved

@@ -161,7 +161,11 @@ class PlacementState:
     def trap_of_qubit(self, qubit: int) -> Optional[str]:
         """Trap currently holding program qubit ``qubit``."""
 
-        return self.trap_of_ion(self.ion_of_qubit(qubit))
+        # Hot path (the scheduler's locality probe): inline both lookups.
+        try:
+            return self._ion_trap[self._ion_of_qubit[qubit]]
+        except KeyError:
+            raise KeyError(f"program qubit {qubit} is not mapped to any ion") from None
 
     def ion_of_qubit(self, qubit: int) -> int:
         """Physical ion currently holding program qubit ``qubit``."""

@@ -16,6 +16,15 @@ simple, deterministic greedy heuristics in the spirit of Section VI:
   operands.
 * **Eviction destination**: the nearest trap (by shuttle distance) with free
   space, excluding the two gate traps.
+
+Performance: the router keeps an incremental per-(qubit, trap) affinity table
+instead of rescanning the destination chain's residents for every cross-trap
+gate.  The table is seeded from the initial placement and updated in O(degree
+of the moved qubit in the interaction graph) whenever the compile loop reports
+a shuttle via :meth:`Router.note_qubit_moved`.  Eviction destinations come
+from a static per-origin trap list presorted by (shuttle distance, name), so
+the nearest trap with free space is found by an early-exit walk instead of a
+full scan of every trap.
 """
 
 from __future__ import annotations
@@ -89,8 +98,58 @@ class Router:
         self.policy = policy
         # Trap-to-trap distances are static; cache them once.
         self._distances = device.topology.distance_matrix()
+        # Static eviction-destination order: per origin, every trap presorted
+        # by (distance, name) so the nearest trap with space is an early-exit
+        # walk rather than a scan over every trap.
+        trap_names = [trap.name for trap in device.topology.traps]
+        self._traps_by_distance: Dict[str, Tuple[str, ...]] = {
+            origin: tuple(name for _, name in sorted(
+                (self._distances[(origin, name)], name) for name in trap_names
+            ))
+            for origin in trap_names
+        }
+        # Interaction-graph adjacency: qubit -> ((neighbour, weight), ...).
+        neighbours: Dict[int, List[Tuple[int, int]]] = {}
+        for (qubit_a, qubit_b), weight in self.interaction_weights.items():
+            neighbours.setdefault(qubit_a, []).append((qubit_b, weight))
+            neighbours.setdefault(qubit_b, []).append((qubit_a, weight))
+        self._neighbours: Dict[int, Tuple[Tuple[int, int], ...]] = {
+            qubit: tuple(entries) for qubit, entries in neighbours.items()
+        }
+        # Incremental affinity table: qubit -> {trap: total interaction weight
+        # with the qubits currently resident in that trap}.  Seeded from the
+        # live placement; zero entries are simply absent.
+        self._affinity_table: Dict[int, Dict[str, int]] = {}
+        for trap_name, chain in state.chains.items():
+            for ion in chain.ions:
+                resident = state.qubit_of_ion(ion)
+                if resident is None:
+                    continue
+                self._credit_residency(resident, trap_name, +1)
 
     # ------------------------------------------------------------------ #
+    def _credit_residency(self, qubit: int, trap_name: str, sign: int) -> None:
+        """Add (or remove) ``qubit``'s weights to its neighbours' affinity
+        for ``trap_name``."""
+
+        for neighbour, weight in self._neighbours.get(qubit, ()):
+            row = self._affinity_table.setdefault(neighbour, {})
+            row[trap_name] = row.get(trap_name, 0) + sign * weight
+
+    def note_qubit_moved(self, qubit: int, source: Optional[str], destination: str) -> None:
+        """Update the affinity table after ``qubit`` shuttled between traps.
+
+        The compile loop calls this once per executed shuttle.  Only the
+        qubit's interaction-graph neighbours are touched; the moved qubit's
+        own affinities are unchanged (they sum over *other* residents).
+        """
+
+        if source == destination:
+            return
+        if source is not None:
+            self._credit_residency(qubit, source, -1)
+        self._credit_residency(qubit, destination, +1)
+
     def _weight(self, qubit_a: int, qubit_b: int) -> int:
         key = (qubit_a, qubit_b) if qubit_a < qubit_b else (qubit_b, qubit_a)
         return self.interaction_weights.get(key, 0)
@@ -98,13 +157,7 @@ class Router:
     def _affinity(self, qubit: int, trap_name: str) -> int:
         """Total interaction count between ``qubit`` and the residents of a trap."""
 
-        total = 0
-        for ion in self.state.chain(trap_name).ions:
-            other = self.state.qubit_of_ion(ion)
-            if other is None or other == qubit:
-                continue
-            total += self._weight(qubit, other)
-        return total
+        return self._affinity_table.get(qubit, {}).get(trap_name, 0)
 
     def _move_gain(self, qubit: int, source: str, destination: str) -> int:
         """How much moving ``qubit`` improves its locality (higher is better)."""
@@ -198,13 +251,10 @@ class Router:
                                  exclude: Tuple[str, ...]) -> Optional[str]:
         """Closest trap (by shuttle distance) with at least one free slot."""
 
-        best: Optional[Tuple[int, str]] = None
-        for trap in self.device.topology.traps:
-            if trap.name in exclude:
+        free_space = self.state.free_space
+        for trap_name in self._traps_by_distance[origin]:
+            if trap_name in exclude:
                 continue
-            if self.state.free_space(trap.name) <= 0:
-                continue
-            distance = self._distances[(origin, trap.name)]
-            if best is None or (distance, trap.name) < best:
-                best = (distance, trap.name)
-        return best[1] if best else None
+            if free_space(trap_name) > 0:
+                return trap_name
+        return None

@@ -10,29 +10,107 @@ whose predecessors have all been emitted.  Among ready gates it prefers
 
 The preference function is injected so the compile loop can describe locality
 against its live placement state without the scheduler importing it.
+
+Implementation: ready gates live in a *two-tier heap* -- one min-heap of
+locally-executable gates and one of gates that would need communication.
+``next_gate`` pops the smallest local gate, falling back to the smallest
+remote gate, in O(log W) for ready-list width W.  Locality of a ready gate
+only changes when one of its operands moves between traps, so the compile
+loop reports shuttled qubits via :meth:`note_qubits_moved` and only the
+affected gates are re-classified (lazy invalidation: the entry in the stale
+tier is skipped when it surfaces).  This replaces the seed implementation's
+per-pop ``sorted()`` scan plus full ``heapq.heapify`` rebuild while emitting
+gates in exactly the same order.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.ir.circuit import Circuit
 from repro.ir.dag import DependencyDAG
+from repro.ir.gate import GateKind
 
 
 class GateScheduler:
     """Iterator over gate indices in earliest-ready-gate-first order."""
 
     def __init__(self, circuit: Circuit,
-                 is_local: Optional[Callable[[int], bool]] = None) -> None:
+                 is_local: Optional[Callable[[int], bool]] = None,
+                 two_qubit_operands: Optional[Dict[int, tuple]] = None) -> None:
         self.circuit = circuit
         self.dag = DependencyDAG(circuit)
         self._is_local = is_local or (lambda index: True)
         self._remaining_preds = self.dag.in_degrees()
-        self._ready: List[int] = [i for i, deg in enumerate(self._remaining_preds) if deg == 0]
-        heapq.heapify(self._ready)
         self._emitted: Set[int] = set()
+        #: Ready gate indices (the union of both heap tiers, without stale
+        #: duplicates).
+        self._ready: Set[int] = set()
+        #: Current locality classification of every ready gate.
+        self._local_flag: Dict[int, bool] = {}
+        #: Two-qubit ready gates indexed by operand qubit, for invalidation.
+        self._by_qubit: Dict[int, Set[int]] = {}
+        self._local_heap: List[int] = []
+        self._remote_heap: List[int] = []
+        #: Operand qubits of every two-qubit gate (locality can only change
+        #: for these); computed once instead of re-classifying gate names, or
+        #: supplied by a caller that already has the table (the compile loop).
+        if two_qubit_operands is None:
+            two_qubit_operands = {
+                index: gate.qubits for index, gate in enumerate(circuit.gates)
+                if gate.kind is GateKind.TWO_QUBIT
+            }
+        self._two_qubit_operands = two_qubit_operands
+        for index, degree in enumerate(self._remaining_preds):
+            if degree == 0:
+                self._push_ready(index)
+
+    # ------------------------------------------------------------------ #
+    def _push_ready(self, index: int) -> None:
+        """Classify a newly-ready gate and push it into the right tier."""
+
+        self._ready.add(index)
+        local = bool(self._is_local(index))
+        self._local_flag[index] = local
+        if local:
+            heapq.heappush(self._local_heap, index)
+        else:
+            heapq.heappush(self._remote_heap, index)
+        operands = self._two_qubit_operands.get(index)
+        if operands is not None:
+            for qubit in operands:
+                self._by_qubit.setdefault(qubit, set()).add(index)
+
+    def note_qubits_moved(self, qubits) -> None:
+        """Re-classify ready gates whose operand ``qubits`` changed traps.
+
+        The compile loop calls this after emitting the shuttles of a gate;
+        only gates touching a moved qubit can flip between the local and
+        remote tiers.  Entries left behind in the old tier become stale and
+        are skipped when popped.
+        """
+
+        for qubit in qubits:
+            for index in self._by_qubit.get(qubit, ()):
+                local = bool(self._is_local(index))
+                if local == self._local_flag[index]:
+                    continue
+                self._local_flag[index] = local
+                if local:
+                    heapq.heappush(self._local_heap, index)
+                else:
+                    heapq.heappush(self._remote_heap, index)
+
+    def _valid_top(self, heap: List[int], want_local: bool) -> Optional[int]:
+        """Smallest non-stale entry of ``heap``, discarding stale heads."""
+
+        while heap:
+            index = heap[0]
+            if index in self._ready and self._local_flag[index] == want_local:
+                return index
+            heapq.heappop(heap)
+        return None
 
     # ------------------------------------------------------------------ #
     def __bool__(self) -> bool:
@@ -57,23 +135,26 @@ class GateScheduler:
     def next_gate(self) -> int:
         """Pop the next gate to compile.
 
-        Local ready gates are preferred; ties broken by program order.  The
-        scan over the ready list is linear, which is fine because the ready
-        list stays small (bounded by circuit width).
+        The smallest-index local ready gate wins; if no ready gate is local,
+        the smallest-index ready gate overall (which then sits at the top of
+        the remote tier).
         """
 
         if not self._ready:
             raise RuntimeError("no ready gates; scheduling is complete or stuck")
-        ready_sorted = sorted(self._ready)
-        chosen = None
-        for index in ready_sorted:
-            if self._is_local(index):
-                chosen = index
-                break
+        chosen = self._valid_top(self._local_heap, want_local=True)
         if chosen is None:
-            chosen = ready_sorted[0]
-        self._ready.remove(chosen)
-        heapq.heapify(self._ready)
+            chosen = self._valid_top(self._remote_heap, want_local=False)
+        if chosen is None:  # pragma: no cover - defensive; _ready is non-empty
+            raise RuntimeError("scheduler heaps out of sync with ready set")
+        heap = self._local_heap if self._local_flag[chosen] else self._remote_heap
+        heapq.heappop(heap)
+        self._ready.discard(chosen)
+        del self._local_flag[chosen]
+        operands = self._two_qubit_operands.get(chosen)
+        if operands is not None:
+            for qubit in operands:
+                self._by_qubit[qubit].discard(chosen)
         return chosen
 
     def mark_done(self, index: int) -> None:
@@ -85,7 +166,7 @@ class GateScheduler:
         for successor in self.dag.successors(index):
             self._remaining_preds[successor] -= 1
             if self._remaining_preds[successor] == 0:
-                heapq.heappush(self._ready, successor)
+                self._push_ready(successor)
 
     def schedule(self) -> List[int]:
         """Convenience: the full schedule as a list of gate indices."""

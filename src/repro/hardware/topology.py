@@ -112,6 +112,17 @@ class Topology:
         self._junctions: Dict[str, Junction] = {}
         self._segments: Dict[int, Segment] = {}
         self._next_segment_id = 0
+        # Route caches: the graph is static once built, but every shuttle the
+        # compiler emits asks for a path, a port side and the segments along
+        # the way.  Cleared whenever the graph mutates.
+        self._path_cache: Dict[Tuple[str, str], "ShuttlePath"] = {}
+        self._port_cache: Dict[Tuple[str, str], str] = {}
+        self._segment_cache: Dict[Tuple[str, str], Segment] = {}
+
+    def _invalidate_route_caches(self) -> None:
+        self._path_cache.clear()
+        self._port_cache.clear()
+        self._segment_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -123,6 +134,7 @@ class Topology:
             raise ValueError(f"duplicate node name {trap.name!r}")
         self._traps[trap.name] = trap
         self.graph.add_node(trap.name, kind="trap", element=trap)
+        self._invalidate_route_caches()
         return trap
 
     def add_junction(self, junction: Junction) -> Junction:
@@ -132,6 +144,7 @@ class Topology:
             raise ValueError(f"duplicate node name {junction.name!r}")
         self._junctions[junction.name] = junction
         self.graph.add_node(junction.name, kind="junction", element=junction)
+        self._invalidate_route_caches()
         return junction
 
     def connect(self, node_a: str, node_b: str, length: int = 1) -> Segment:
@@ -146,6 +159,7 @@ class Topology:
         self._next_segment_id += 1
         self._segments[segment.segment_id] = segment
         self.graph.add_edge(node_a, node_b, element=segment, weight=length)
+        self._invalidate_route_caches()
         return segment
 
     def validate(self) -> None:
@@ -228,10 +242,16 @@ class Topology:
     def segment_between(self, node_a: str, node_b: str) -> Segment:
         """The segment joining two adjacent nodes."""
 
+        key = (node_a, node_b)
+        segment = self._segment_cache.get(key)
+        if segment is not None:
+            return segment
         data = self.graph.get_edge_data(node_a, node_b)
         if data is None:
             raise KeyError(f"no segment between {node_a!r} and {node_b!r}")
-        return data["element"]
+        segment = data["element"]
+        self._segment_cache[key] = segment
+        return segment
 
     def total_capacity(self) -> int:
         """Sum of trap capacities (maximum number of ions the device holds)."""
@@ -249,12 +269,19 @@ class Topology:
         for the topologies in the paper both notions of shortest coincide).
         """
 
+        key = (source, destination)
+        path = self._path_cache.get(key)
+        if path is not None:
+            return path
         if source not in self._traps or destination not in self._traps:
             raise KeyError("shuttle paths must start and end at traps")
         if source == destination:
-            return ShuttlePath(source, destination, ())
-        nodes = nx.shortest_path(self.graph, source, destination, weight="weight")
-        return self._path_from_nodes(nodes)
+            path = ShuttlePath(source, destination, ())
+        else:
+            nodes = nx.shortest_path(self.graph, source, destination, weight="weight")
+            path = self._path_from_nodes(nodes)
+        self._path_cache[key] = path
+        return path
 
     def all_shortest_paths(self, source: str, destination: str) -> List[ShuttlePath]:
         """Every shortest route between two traps (used by congestion-aware
@@ -290,6 +317,10 @@ class Topology:
         traps with a single port always use the tail.
         """
 
+        key = (trap_name, neighbor)
+        side = self._port_cache.get(key)
+        if side is not None:
+            return side
         if trap_name not in self._traps:
             raise KeyError(f"no trap named {trap_name!r}")
         if not self.graph.has_edge(trap_name, neighbor):
@@ -299,10 +330,13 @@ class Topology:
         trap_pos = trap.position
         neighbor_pos = getattr(neighbor_element, "position", None)
         if trap_pos is None or neighbor_pos is None:
-            return "tail"
-        if (neighbor_pos[0], neighbor_pos[1]) < (trap_pos[0], trap_pos[1]):
-            return "head"
-        return "tail"
+            side = "tail"
+        elif (neighbor_pos[0], neighbor_pos[1]) < (trap_pos[0], trap_pos[1]):
+            side = "head"
+        else:
+            side = "tail"
+        self._port_cache[key] = side
+        return side
 
     def trap_distance(self, source: str, destination: str) -> int:
         """Shortest-path length (in segments) between two traps."""

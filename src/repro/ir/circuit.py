@@ -224,15 +224,19 @@ class Circuit:
         recognised two-qubit name in place (they are all one MS each).
         """
 
-        result = Circuit(self.num_qubits, name=self.name)
+        gates: List[Gate] = []
         for gate in self._gates:
             if gate.is_two_qubit and gate.name.lower() == "swap":
                 a, b = gate.qubits
-                result.add("cx", a, b)
-                result.add("cx", b, a)
-                result.add("cx", a, b)
+                gates.append(Gate("cx", (a, b)))
+                gates.append(Gate("cx", (b, a)))
+                gates.append(Gate("cx", (a, b)))
             else:
-                result.append(gate)
+                gates.append(gate)
+        result = Circuit(self.num_qubits, name=self.name)
+        # Every gate is either taken from this (already validated) circuit or
+        # references the same qubits, so skip the per-append range checks.
+        result._gates = gates
         return result
 
     def remapped(self, mapping: Dict[int, int], num_qubits: Optional[int] = None) -> "Circuit":

@@ -25,17 +25,22 @@ class DependencyDAG:
 
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
-        self._predecessors: Dict[int, List[int]] = defaultdict(list)
-        self._successors: Dict[int, List[int]] = defaultdict(list)
+        num_gates = len(circuit)
+        # Dense index-keyed adjacency (every gate has an entry; most have one
+        # or two edges) -- lists beat defaultdicts in this hot constructor.
+        predecessors: List[List[int]] = [[] for _ in range(num_gates)]
+        successors: List[List[int]] = [[] for _ in range(num_gates)]
         last_use: Dict[int, int] = {}
-        for index, gate in enumerate(circuit.gates):
+        for index, gate in enumerate(circuit):
             for qubit in gate.qubits:
-                if qubit in last_use:
-                    prev = last_use[qubit]
-                    self._predecessors[index].append(prev)
-                    self._successors[prev].append(index)
+                prev = last_use.get(qubit)
+                if prev is not None:
+                    predecessors[index].append(prev)
+                    successors[prev].append(index)
                 last_use[qubit] = index
-        self._num_gates = len(circuit.gates)
+        self._predecessors = predecessors
+        self._successors = successors
+        self._num_gates = num_gates
 
     # ------------------------------------------------------------------ #
     @property
@@ -47,22 +52,22 @@ class DependencyDAG:
     def predecessors(self, index: int) -> Tuple[int, ...]:
         """Gate indices that must finish before gate ``index`` may start."""
 
-        return tuple(self._predecessors.get(index, ()))
+        return tuple(self._predecessors[index])
 
     def successors(self, index: int) -> Tuple[int, ...]:
         """Gate indices that directly depend on gate ``index``."""
 
-        return tuple(self._successors.get(index, ()))
+        return tuple(self._successors[index])
 
     def roots(self) -> List[int]:
         """Gates with no predecessors (ready at time zero)."""
 
-        return [i for i in range(self._num_gates) if not self._predecessors.get(i)]
+        return [i for i in range(self._num_gates) if not self._predecessors[i]]
 
     def in_degrees(self) -> List[int]:
         """In-degree per gate index; useful for ready-list scheduling."""
 
-        return [len(self._predecessors.get(i, ())) for i in range(self._num_gates)]
+        return [len(preds) for preds in self._predecessors]
 
     # ------------------------------------------------------------------ #
     def topological_order(self) -> List[int]:
@@ -80,7 +85,7 @@ class DependencyDAG:
         while ready:
             node = heapq.heappop(ready)
             order.append(node)
-            for succ in self._successors.get(node, ()):
+            for succ in self._successors[node]:
                 in_degree[succ] -= 1
                 if in_degree[succ] == 0:
                     heapq.heappush(ready, succ)
@@ -97,7 +102,7 @@ class DependencyDAG:
         for index in range(self._num_gates):
             if index in completed:
                 continue
-            if all(p in completed for p in self._predecessors.get(index, ())):
+            if all(p in completed for p in self._predecessors[index]):
                 frontier.append(index)
         return frontier
 
@@ -107,7 +112,7 @@ class DependencyDAG:
 
         level: Dict[int, int] = {}
         for index in self.topological_order():
-            preds = self._predecessors.get(index, ())
+            preds = self._predecessors[index]
             level[index] = 1 + max((level[p] for p in preds), default=-1)
         grouped: Dict[int, List[int]] = defaultdict(list)
         for index, lev in level.items():
@@ -125,7 +130,7 @@ class DependencyDAG:
             weights = [1.0] * self._num_gates
         finish: Dict[int, float] = {}
         for index in self.topological_order():
-            start = max((finish[p] for p in self._predecessors.get(index, ())), default=0.0)
+            start = max((finish[p] for p in self._predecessors[index]), default=0.0)
             finish[index] = start + weights[index]
         return max(finish.values(), default=0.0)
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Tuple
 
 
@@ -39,11 +40,14 @@ MEASUREMENT_NAMES = frozenset({"measure", "m"})
 SYMMETRIC_TWO_QUBIT_NAMES = frozenset({"cz", "ms", "xx", "rxx", "rzz", "swap", "cp", "cu1", "crz"})
 
 
+@lru_cache(maxsize=None)
 def classify(name: str) -> GateKind:
     """Return the :class:`GateKind` for a gate ``name``.
 
     Raises ``ValueError`` for unknown names so that typos surface early
-    instead of silently producing a zero-duration operation.
+    instead of silently producing a zero-duration operation.  The result is
+    memoised: circuits use a handful of distinct names but the compiler asks
+    for classifications millions of times across a sweep.
     """
 
     lowered = name.lower()

@@ -9,12 +9,16 @@ paper reports:
   gate-implementation fan-out that reuses one compilation across AM1/AM2/PM/FM.
 * :mod:`~repro.toolflow.sweep` -- parameter sweeps over capacities, topologies
   and microarchitecture combinations.
+* :mod:`~repro.toolflow.parallel` -- the sweep executor: compiled-program
+  memoization (:class:`ProgramCache`) and deterministic multi-process fan-out
+  (:func:`run_tasks`), shared by every sweep and figure driver.
 * :mod:`~repro.toolflow.figures` -- harnesses that regenerate the data series
   of Figures 6, 7 and 8.
 * :mod:`~repro.toolflow.tables` -- harnesses for Tables I and II.
 """
 
 from repro.toolflow.config import ArchitectureConfig
+from repro.toolflow.parallel import ProgramCache, SweepTask, execute_task, run_tasks
 from repro.toolflow.runner import ExperimentRecord, run_experiment, run_gate_variants
 from repro.toolflow.sweep import sweep_capacity, sweep_topologies, sweep_microarchitecture
 from repro.toolflow.figures import figure6, figure7, figure8
@@ -23,6 +27,10 @@ from repro.toolflow.tables import table1, table2
 __all__ = [
     "ArchitectureConfig",
     "ExperimentRecord",
+    "ProgramCache",
+    "SweepTask",
+    "execute_task",
+    "run_tasks",
     "run_experiment",
     "run_gate_variants",
     "sweep_capacity",

@@ -12,6 +12,12 @@ versions for tests and benchmarks.
   fidelity, SquareRoot motional heating.
 * :func:`figure8` -- microarchitecture study (AM1/AM2/PM/FM x GS/IS on L6):
   fidelity and runtime per combination.
+
+All three drivers delegate to the sweeps in :mod:`repro.toolflow.sweep` and
+therefore accept ``jobs`` (parallel worker processes; 1 = serial) and
+``cache`` (a shared :class:`~repro.toolflow.parallel.ProgramCache`, so e.g.
+regenerating Figure 6 after Figure 7 reuses every L6 compilation).  The
+assembled series are identical for every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -21,17 +27,50 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.apps.suite import table2_suite
 from repro.ir.circuit import Circuit
 from repro.toolflow.config import ArchitectureConfig
-from repro.toolflow.runner import run_experiment, run_gate_variants
-from repro.toolflow.sweep import PAPER_CAPACITIES, PAPER_GATES, PAPER_REORDERS
+from repro.toolflow.parallel import ProgramCache
+from repro.toolflow.sweep import (
+    PAPER_CAPACITIES,
+    PAPER_GATES,
+    PAPER_REORDERS,
+    sweep_capacity,
+    sweep_microarchitecture,
+    sweep_topologies,
+)
 
 
 def _suite_or_default(suite: Optional[Dict[str, Circuit]]) -> Dict[str, Circuit]:
     return suite if suite is not None else table2_suite()
 
 
+def _take(records, circuit: Circuit, **expected):
+    """Next record, verified against the enumeration the caller is walking.
+
+    The figure drivers recover each record's suite key positionally (the
+    sweeps return records in task order); this guard turns any future drift
+    between the sweep enumeration and the walk into a loud error instead of
+    silently misattributed series.
+    """
+
+    record = next(records)
+    mismatches = {
+        key: (value, getattr(record.config, key))
+        for key, value in expected.items()
+        if getattr(record.config, key) != value
+    }
+    if record.application != circuit.name:
+        mismatches["application"] = (circuit.name, record.application)
+    if mismatches:
+        raise RuntimeError(
+            f"sweep records out of step with the figure enumeration: {mismatches}"
+        )
+    return record
+
+
 def figure6(suite: Optional[Dict[str, Circuit]] = None,
             capacities: Sequence[int] = PAPER_CAPACITIES,
-            base: Optional[ArchitectureConfig] = None) -> Dict[str, object]:
+            base: Optional[ArchitectureConfig] = None, *,
+            jobs: int = 1,
+            cache: Optional[ProgramCache] = None) -> Dict[str, object]:
     """Trap-sizing study (Figure 6a-g).
 
     Returns a dictionary with keys ``capacities``, ``runtime_s``, ``fidelity``,
@@ -47,11 +86,13 @@ def figure6(suite: Optional[Dict[str, Circuit]] = None,
     qft_breakdown = {"computation_s": [], "communication_s": []}
     supremacy_error = {"motional": [], "background": []}
 
+    records = iter(sweep_capacity(suite, capacities=capacities, base=base,
+                                  jobs=jobs, cache=cache))
+    # Records come back in sweep-enumeration order (capacity-major, then
+    # suite order), so walk the same loops to recover the suite keys.
     for capacity in capacities:
-        config = base.with_updates(trap_capacity=capacity)
-        for name, circuit in suite.items():
-            record = run_experiment(circuit, config)
-            result = record.result
+        for name in suite:
+            result = _take(records, suite[name], trap_capacity=capacity).result
             runtime[name].append(result.duration_seconds)
             fidelity[name].append(result.fidelity)
             motional[name].append(result.max_motional_energy)
@@ -76,7 +117,9 @@ def figure6(suite: Optional[Dict[str, Circuit]] = None,
 def figure7(suite: Optional[Dict[str, Circuit]] = None,
             capacities: Sequence[int] = PAPER_CAPACITIES,
             topologies: Sequence[str] = ("L6", "G2x3"),
-            base: Optional[ArchitectureConfig] = None) -> Dict[str, object]:
+            base: Optional[ArchitectureConfig] = None, *,
+            jobs: int = 1,
+            cache: Optional[ProgramCache] = None) -> Dict[str, object]:
     """Topology study (Figure 7a-g).
 
     Returns ``capacities``, ``topologies``, ``runtime_s``, ``fidelity`` (both
@@ -94,12 +137,13 @@ def figure7(suite: Optional[Dict[str, Circuit]] = None,
     }
     heating: Dict[str, List[float]] = {topology: [] for topology in topologies}
 
+    records = iter(sweep_topologies(suite, topologies=topologies, capacities=capacities,
+                                    base=base, jobs=jobs, cache=cache))
     for topology in topologies:
         for capacity in capacities:
-            config = base.with_updates(topology=topology, trap_capacity=capacity)
-            for name, circuit in suite.items():
-                record = run_experiment(circuit, config)
-                result = record.result
+            for name in suite:
+                result = _take(records, suite[name], topology=topology,
+                               trap_capacity=capacity).result
                 runtime[name][topology].append(result.duration_seconds)
                 fidelity[name][topology].append(result.fidelity)
                 if name == "SquareRoot":
@@ -119,7 +163,9 @@ def figure8(suite: Optional[Dict[str, Circuit]] = None,
             capacities: Sequence[int] = PAPER_CAPACITIES,
             gates: Iterable[str] = PAPER_GATES,
             reorders: Iterable[str] = PAPER_REORDERS,
-            base: Optional[ArchitectureConfig] = None) -> Dict[str, object]:
+            base: Optional[ArchitectureConfig] = None, *,
+            jobs: int = 1,
+            cache: Optional[ProgramCache] = None) -> Dict[str, object]:
     """Microarchitecture study (Figure 8a-l).
 
     Returns ``capacities``, ``combos`` (e.g. ``"FM-GS"``), ``fidelity`` and
@@ -141,15 +187,18 @@ def figure8(suite: Optional[Dict[str, Circuit]] = None,
         name: {combo: [] for combo in combos} for name in suite
     }
 
+    records = iter(sweep_microarchitecture(suite, capacities=capacities, gates=gates,
+                                           reorders=reorders, base=base,
+                                           jobs=jobs, cache=cache))
     for reorder in reorders:
         for capacity in capacities:
-            config = base.with_updates(trap_capacity=capacity, reorder=reorder)
-            for name, circuit in suite.items():
-                variants = run_gate_variants(circuit, config, gates=gates)
-                for gate, record in variants.items():
+            for name in suite:
+                for gate in gates:
+                    result = _take(records, suite[name], trap_capacity=capacity,
+                                   reorder=reorder, gate=gate).result
                     combo = f"{gate}-{reorder}"
-                    fidelity[name][combo].append(record.result.fidelity)
-                    runtime[name][combo].append(record.result.duration_seconds)
+                    fidelity[name][combo].append(result.fidelity)
+                    runtime[name][combo].append(result.duration_seconds)
 
     return {
         "capacities": list(capacities),

@@ -1,0 +1,210 @@
+"""Parallel, memoized execution of design-space sweeps.
+
+The paper's figures are large sweeps: every (application x capacity x
+topology x gate x reorder) point runs the full compile->simulate pipeline.
+This module adds the two throughput layers the sweep drivers share:
+
+* :class:`ProgramCache` -- a compiled-program memo keyed by the *compile
+  relevant* inputs: the circuit's structural fingerprint plus (topology,
+  capacity, reorder, buffer, mapping, routing, lowering).  The two-qubit gate
+  implementation is deliberately **not** part of the key: it changes only
+  durations and fidelities, never the compiled operation sequence, which is
+  exactly the sharing :func:`~repro.toolflow.runner.run_gate_variants`
+  exploits for Figure 8.  With the cache, *every* sweep (capacity, topology,
+  microarchitecture) shares compilations the same way -- including across
+  separate sweeps in one session.
+* :func:`run_tasks` -- a deterministic sweep executor.  ``jobs=1`` (the
+  default) runs in-process against a shared cache; ``jobs>1`` fans tasks out
+  to a ``ProcessPoolExecutor`` whose workers each keep a process-local cache.
+  Results always come back in task-submission order, so the produced record
+  list is byte-for-byte independent of the worker count.
+
+Physical-model parameters are allowed to differ between cache hits: the
+compiler never reads them (they only drive simulation), which is asserted by
+the toolflow tests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from dataclasses import replace
+
+from repro.compiler.compile import CompilerOptions, compile_circuit
+from repro.hardware.device import QCCDDevice
+from repro.models.gate_times import GateImplementation
+from repro.io.fingerprint import circuit_fingerprint
+from repro.ir.circuit import Circuit
+from repro.isa.program import QCCDProgram
+from repro.sim.engine import simulate
+from repro.toolflow.config import ArchitectureConfig
+from repro.toolflow.runner import ExperimentRecord
+
+
+class ProgramCache:
+    """Memo of compiled programs, shared across sweep points.
+
+    The cached device is the one the program was compiled for; requests for a
+    different gate implementation receive ``device.with_gate(...)`` copies,
+    mirroring :func:`~repro.toolflow.runner.run_gate_variants`.
+    """
+
+    def __init__(self) -> None:
+        self._programs: Dict[Tuple, Tuple[QCCDProgram, QCCDDevice]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    @staticmethod
+    def key_for(circuit: Circuit, config: ArchitectureConfig,
+                options: Optional[CompilerOptions] = None) -> Tuple:
+        """The compile-relevant identity of a sweep point.
+
+        Excludes the gate implementation (it does not affect compilation) and
+        the physical model parameters (the compiler never reads them).
+        """
+
+        options = options or CompilerOptions()
+        return (
+            circuit_fingerprint(circuit),
+            config.topology,
+            config.trap_capacity,
+            config.reorder,
+            config.buffer_ions,
+            options.mapping,
+            options.routing,
+            options.lower_to_native,
+        )
+
+    def get_or_compile(self, circuit: Circuit, config: ArchitectureConfig,
+                       options: Optional[CompilerOptions] = None,
+                       ) -> Tuple[QCCDProgram, QCCDDevice]:
+        """Return the compiled ``(program, device)`` for a sweep point.
+
+        On a hit the stored program is returned with a device carrying the
+        requested gate implementation; on a miss the circuit is compiled and
+        stored.
+        """
+
+        key = self.key_for(circuit, config, options)
+        entry = self._programs.get(key)
+        if entry is not None:
+            self.hits += 1
+            program, device = entry
+            # The cached program is valid for any gate implementation and any
+            # physical-model parameters (neither affects compilation), but the
+            # *device* handed back must carry the requested ones -- they drive
+            # the simulation.
+            gate = GateImplementation.from_name(config.gate)
+            if device.gate is not gate or device.model != config.model:
+                device = replace(device, gate=gate, model=config.model, name="")
+            return program, device
+        self.misses += 1
+        device = config.build_device(circuit.num_qubits)
+        program = compile_circuit(circuit, device, options)
+        self._programs[key] = (program, device)
+        return program, device
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the number of distinct compilations held."""
+
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._programs)}
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: compile once, simulate one or more gates.
+
+    ``gates`` is ``None`` for a plain :func:`run_experiment`-style point; a
+    tuple of gate implementation names produces one record per gate from the
+    single compilation (the Figure 8 fan-out).
+    """
+
+    circuit: Circuit
+    config: ArchitectureConfig
+    gates: Optional[Tuple[str, ...]] = None
+    options: Optional[CompilerOptions] = None
+    keep_timeline: bool = False
+
+
+def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]:
+    """Run one task against ``cache``; mirrors the serial runner drivers."""
+
+    program, device = cache.get_or_compile(task.circuit, task.config, task.options)
+    program_size = len(program)
+    num_shuttles = program.num_shuttles
+    records: List[ExperimentRecord] = []
+    if task.gates is None:
+        result = simulate(program, device, keep_timeline=task.keep_timeline)
+        records.append(ExperimentRecord(
+            application=task.circuit.name,
+            config=task.config,
+            result=result,
+            program_size=program_size,
+            num_shuttles=num_shuttles,
+        ))
+        return records
+    for gate in task.gates:
+        variant_device = device.with_gate(gate)
+        result = simulate(program, variant_device, keep_timeline=task.keep_timeline)
+        records.append(ExperimentRecord(
+            application=task.circuit.name,
+            config=task.config.with_updates(gate=gate),
+            result=result,
+            program_size=program_size,
+            num_shuttles=num_shuttles,
+        ))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state for the process pool.  Each worker process lazily creates
+# one cache and reuses it for every task it receives, so compilations are
+# shared within a worker even though processes cannot share the parent cache.
+# ---------------------------------------------------------------------------
+_WORKER_CACHE: Optional[ProgramCache] = None
+
+
+def _worker_execute(task: SweepTask) -> List[ExperimentRecord]:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = ProgramCache()
+    return execute_task(task, _WORKER_CACHE)
+
+
+def run_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
+              cache: Optional[ProgramCache] = None) -> List[List[ExperimentRecord]]:
+    """Execute sweep ``tasks``, returning per-task record lists in task order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) executes serially in-process --
+        no pickling, shared ``cache``.  Larger values fan out to a process
+        pool; record order is still the submission order, so results are
+        deterministic regardless of ``jobs``.
+    cache:
+        Compiled-program cache for the serial path (one is created when not
+        given).  Pool workers always use process-local caches; the parameter
+        still primes nothing across processes by design.
+    """
+
+    tasks = list(tasks)
+    if jobs < 1:
+        raise ValueError("jobs must be a positive integer")
+    if jobs == 1 or len(tasks) <= 1:
+        cache = cache if cache is not None else ProgramCache()
+        return [execute_task(task, cache) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        chunksize = max(1, len(tasks) // (4 * jobs))
+        return list(pool.map(_worker_execute, tasks, chunksize=chunksize))
+
+
+def flatten(per_task_records: List[List[ExperimentRecord]]) -> List[ExperimentRecord]:
+    """Concatenate per-task record lists into one flat record list."""
+
+    return [record for records in per_task_records for record in records]

@@ -45,19 +45,28 @@ class ExperimentRecord:
         return self.result.duration_seconds
 
     def as_row(self) -> Dict[str, object]:
-        """Flat dictionary used by report tables."""
+        """Flat dictionary used by report tables.
 
-        row: Dict[str, object] = {
-            "application": self.application,
-            "topology": self.config.topology,
-            "capacity": self.config.trap_capacity,
-            "gate": self.config.gate,
-            "reorder": self.config.reorder,
-            "program_ops": self.program_size,
-            "shuttles": self.num_shuttles,
-        }
-        row.update(self.result.as_dict())
-        return row
+        The row is assembled once per record and memoised (filter helpers
+        like :func:`~repro.toolflow.sweep.select` call this repeatedly over
+        large record lists); callers receive a fresh copy they may mutate.
+        """
+
+        cached = self.__dict__.get("_row_cache")
+        if cached is None:
+            cached = {
+                "application": self.application,
+                "topology": self.config.topology,
+                "capacity": self.config.trap_capacity,
+                "gate": self.config.gate,
+                "reorder": self.config.reorder,
+                "program_ops": self.program_size,
+                "shuttles": self.num_shuttles,
+            }
+            cached.update(self.result.as_dict())
+            # Frozen dataclass: store through the instance dict directly.
+            self.__dict__["_row_cache"] = cached
+        return dict(cached)
 
 
 def compile_for(circuit: Circuit, config: ArchitectureConfig,

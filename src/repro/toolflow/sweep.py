@@ -1,18 +1,26 @@
 """Parameter sweeps over the QCCD design space.
 
-Thin, composable wrappers around :func:`~repro.toolflow.runner.run_experiment`
-that enumerate the paper's sweep axes: trap capacity, communication topology
-and microarchitecture (gate implementation x reordering method).  Each sweep
-returns a flat list of :class:`~repro.toolflow.runner.ExperimentRecord`.
+Thin, composable wrappers around the sweep executor in
+:mod:`repro.toolflow.parallel` that enumerate the paper's sweep axes: trap
+capacity, communication topology and microarchitecture (gate implementation x
+reordering method).  Each sweep returns a flat list of
+:class:`~repro.toolflow.runner.ExperimentRecord` in a deterministic order
+that is independent of the worker count.
+
+All three sweeps accept ``jobs`` (worker processes; 1 = serial) and ``cache``
+(a :class:`~repro.toolflow.parallel.ProgramCache` reused across calls so
+overlapping sweeps -- e.g. Figure 6 and the L6 half of Figure 7 -- share
+compilations).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.ir.circuit import Circuit
 from repro.toolflow.config import ArchitectureConfig
-from repro.toolflow.runner import ExperimentRecord, run_experiment, run_gate_variants
+from repro.toolflow.parallel import ProgramCache, SweepTask, flatten, run_tasks
+from repro.toolflow.runner import ExperimentRecord
 
 #: Capacities evaluated in the paper's figures.
 PAPER_CAPACITIES = (14, 18, 22, 26, 30, 34)
@@ -26,39 +34,45 @@ PAPER_REORDERS = ("GS", "IS")
 
 def sweep_capacity(circuits: Dict[str, Circuit],
                    capacities: Sequence[int] = PAPER_CAPACITIES,
-                   base: ArchitectureConfig = None) -> List[ExperimentRecord]:
+                   base: Optional[ArchitectureConfig] = None, *,
+                   jobs: int = 1,
+                   cache: Optional[ProgramCache] = None) -> List[ExperimentRecord]:
     """Sweep the trap capacity for every application (Figure 6 axis)."""
 
     base = base or ArchitectureConfig()
-    records = []
-    for capacity in capacities:
-        config = base.with_updates(trap_capacity=capacity)
-        for circuit in circuits.values():
-            records.append(run_experiment(circuit, config))
-    return records
+    tasks = [
+        SweepTask(circuit, base.with_updates(trap_capacity=capacity))
+        for capacity in capacities
+        for circuit in circuits.values()
+    ]
+    return flatten(run_tasks(tasks, jobs=jobs, cache=cache))
 
 
 def sweep_topologies(circuits: Dict[str, Circuit],
                      topologies: Sequence[str] = ("L6", "G2x3"),
                      capacities: Sequence[int] = PAPER_CAPACITIES,
-                     base: ArchitectureConfig = None) -> List[ExperimentRecord]:
+                     base: Optional[ArchitectureConfig] = None, *,
+                     jobs: int = 1,
+                     cache: Optional[ProgramCache] = None) -> List[ExperimentRecord]:
     """Sweep topology x capacity for every application (Figure 7 axes)."""
 
     base = base or ArchitectureConfig()
-    records = []
-    for topology in topologies:
-        for capacity in capacities:
-            config = base.with_updates(topology=topology, trap_capacity=capacity)
-            for circuit in circuits.values():
-                records.append(run_experiment(circuit, config))
-    return records
+    tasks = [
+        SweepTask(circuit, base.with_updates(topology=topology, trap_capacity=capacity))
+        for topology in topologies
+        for capacity in capacities
+        for circuit in circuits.values()
+    ]
+    return flatten(run_tasks(tasks, jobs=jobs, cache=cache))
 
 
 def sweep_microarchitecture(circuits: Dict[str, Circuit],
                             capacities: Sequence[int] = PAPER_CAPACITIES,
                             gates: Iterable[str] = PAPER_GATES,
                             reorders: Iterable[str] = PAPER_REORDERS,
-                            base: ArchitectureConfig = None) -> List[ExperimentRecord]:
+                            base: Optional[ArchitectureConfig] = None, *,
+                            jobs: int = 1,
+                            cache: Optional[ProgramCache] = None) -> List[ExperimentRecord]:
     """Sweep gate implementation x reordering x capacity (Figure 8 axes).
 
     The compiled program is shared across gate implementations for each
@@ -66,14 +80,16 @@ def sweep_microarchitecture(circuits: Dict[str, Circuit],
     """
 
     base = base or ArchitectureConfig()
-    records = []
-    for reorder in reorders:
-        for capacity in capacities:
-            config = base.with_updates(trap_capacity=capacity, reorder=reorder)
-            for circuit in circuits.values():
-                variants = run_gate_variants(circuit, config, gates=gates)
-                records.extend(variants.values())
-    return records
+    gates = tuple(gates)
+    tasks = [
+        SweepTask(circuit,
+                  base.with_updates(trap_capacity=capacity, reorder=reorder),
+                  gates=gates)
+        for reorder in reorders
+        for capacity in capacities
+        for circuit in circuits.values()
+    ]
+    return flatten(run_tasks(tasks, jobs=jobs, cache=cache))
 
 
 def records_to_rows(records: Iterable[ExperimentRecord]) -> List[Dict[str, object]]:
@@ -88,9 +104,10 @@ def select(records: Iterable[ExperimentRecord], **criteria) -> List[ExperimentRe
     Example: ``select(records, application="qft64", capacity=22)``.
     """
 
+    items = tuple(criteria.items())
     matched = []
     for record in records:
         row = record.as_row()
-        if all(row.get(key) == value for key, value in criteria.items()):
+        if all(row.get(key) == value for key, value in items):
             matched.append(record)
     return matched

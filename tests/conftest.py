@@ -9,6 +9,13 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full paper-scale checks (opt-in via REPRO_GOLDEN_SCALE)")
+    config.addinivalue_line(
+        "markers", "budget: wall-time budget guard for the compile+simulate hot path")
+
 from repro.apps import (
     bernstein_vazirani_circuit,
     cuccaro_adder_circuit,

@@ -1,0 +1,30 @@
+"""Wall-time budget guard: the compile+simulate hot path must stay fast.
+
+The budget (default 0.5 s, ~50x headroom over the optimized pipeline) guards
+against *algorithmic* regressions -- an accidental O(n^2) in the scheduler,
+router or engine trips it long before CI noise does.  Also invocable as
+``python -m repro check-budget`` and ``python benchmarks/check_budget.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.toolflow.budget import DEFAULT_BUDGET_S, check_budget, resolve_budget
+
+
+@pytest.mark.budget
+def test_quickstart_unit_within_budget():
+    outcome = check_budget()
+    assert outcome["ok"], (
+        f"quickstart compile+simulate took {outcome['elapsed_s']:.3f}s, over the "
+        f"{outcome['budget_s']:.2f}s budget -- the hot path regressed"
+    )
+
+
+def test_resolve_budget_precedence(monkeypatch):
+    assert resolve_budget(2.0) == 2.0
+    monkeypatch.setenv("REPRO_BUDGET_S", "1.25")
+    assert resolve_budget() == 1.25
+    monkeypatch.delenv("REPRO_BUDGET_S")
+    assert resolve_budget() == DEFAULT_BUDGET_S

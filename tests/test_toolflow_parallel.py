@@ -1,0 +1,153 @@
+"""Tests for the parallel sweep executor and the compiled-program cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.fingerprint import result_fingerprint
+from repro.toolflow import ArchitectureConfig, ProgramCache, SweepTask
+from repro.toolflow.parallel import execute_task, flatten, run_tasks
+from repro.toolflow.runner import run_experiment, run_gate_variants
+from repro.toolflow.sweep import sweep_capacity, sweep_microarchitecture
+
+
+def _record_identity(record):
+    return (record.application, record.config, record.program_size,
+            record.num_shuttles, result_fingerprint(record.result))
+
+
+class TestProgramCache:
+    def test_miss_then_hit(self, qft8, small_config):
+        cache = ProgramCache()
+        program_a, _ = cache.get_or_compile(qft8, small_config)
+        program_b, _ = cache.get_or_compile(qft8, small_config)
+        assert program_a is program_b
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_gate_not_part_of_key(self, qft8, small_config):
+        """AM1/FM configs share one compilation; devices carry each gate."""
+
+        cache = ProgramCache()
+        program_a, device_a = cache.get_or_compile(qft8, small_config.with_updates(gate="AM1"))
+        program_b, device_b = cache.get_or_compile(qft8, small_config.with_updates(gate="FM"))
+        assert program_a is program_b
+        assert cache.hits == 1 and cache.misses == 1
+        assert device_a.gate.value == "AM1"
+        assert device_b.gate.value == "FM"
+
+    def test_compile_relevant_knobs_are_keyed(self, qft8, small_config):
+        cache = ProgramCache()
+        cache.get_or_compile(qft8, small_config)
+        cache.get_or_compile(qft8, small_config.with_updates(trap_capacity=8))
+        cache.get_or_compile(qft8, small_config.with_updates(reorder="IS"))
+        assert cache.stats() == {"hits": 0, "misses": 3, "entries": 3}
+
+    def test_hit_carries_requested_physical_model(self, qft8, small_config):
+        """A cache hit must simulate under the *requested* model parameters.
+
+        The model is excluded from the key (it never affects compilation),
+        so the hit path has to swap it onto the returned device.
+        """
+
+        from dataclasses import replace
+
+        hot_heating = replace(small_config.model.heating, k1=1.0)
+        hot_config = small_config.with_updates(
+            model=replace(small_config.model, heating=hot_heating))
+        cache = ProgramCache()
+        cold_direct = run_experiment(qft8, small_config)
+        hot_direct = run_experiment(qft8, hot_config)
+        cache.get_or_compile(qft8, small_config)  # prime with the cold model
+        hot_cached = execute_task(SweepTask(qft8, hot_config), cache)[0]
+        assert cache.hits == 1
+        assert result_fingerprint(hot_cached.result) == result_fingerprint(hot_direct.result)
+        assert result_fingerprint(hot_cached.result) != result_fingerprint(cold_direct.result)
+
+    def test_cached_record_matches_direct_run(self, qft8, small_config):
+        cache = ProgramCache()
+        direct = run_experiment(qft8, small_config)
+        cache.get_or_compile(qft8, small_config)  # prime
+        via_cache = execute_task(SweepTask(qft8, small_config), cache)[0]
+        assert cache.hits == 1
+        assert _record_identity(direct) == _record_identity(via_cache)
+
+
+class TestSweepTaskExecution:
+    def test_single_point_matches_run_experiment(self, qaoa8, small_config):
+        direct = run_experiment(qaoa8, small_config)
+        via_task = execute_task(SweepTask(qaoa8, small_config), ProgramCache())[0]
+        assert _record_identity(direct) == _record_identity(via_task)
+
+    def test_gate_fanout_matches_run_gate_variants(self, qft8, small_config):
+        gates = ("AM1", "PM", "FM")
+        direct = list(run_gate_variants(qft8, small_config, gates=gates).values())
+        via_task = execute_task(SweepTask(qft8, small_config, gates=gates),
+                                ProgramCache())
+        assert [_record_identity(r) for r in direct] == \
+               [_record_identity(r) for r in via_task]
+
+
+class TestRunTasks:
+    @pytest.fixture
+    def tasks(self, small_suite, small_config):
+        return [
+            SweepTask(circuit, small_config.with_updates(trap_capacity=capacity))
+            for capacity in (6, 8)
+            for circuit in small_suite.values()
+        ]
+
+    def test_serial_results_in_task_order(self, tasks):
+        per_task = run_tasks(tasks, jobs=1)
+        assert len(per_task) == len(tasks)
+        for task, records in zip(tasks, per_task):
+            assert len(records) == 1
+            assert records[0].application == task.circuit.name
+            assert records[0].config == task.config
+
+    def test_parallel_equals_serial(self, tasks):
+        serial = flatten(run_tasks(tasks, jobs=1))
+        parallel = flatten(run_tasks(tasks, jobs=2))
+        assert [_record_identity(r) for r in serial] == \
+               [_record_identity(r) for r in parallel]
+
+    def test_parallel_order_is_deterministic(self, tasks):
+        first = flatten(run_tasks(tasks, jobs=2))
+        second = flatten(run_tasks(tasks, jobs=3))
+        assert [_record_identity(r) for r in first] == \
+               [_record_identity(r) for r in second]
+
+    def test_jobs_one_is_graceful_fallback(self, tasks):
+        """jobs=1 never touches the process pool and honours a shared cache."""
+
+        cache = ProgramCache()
+        run_tasks(tasks, jobs=1, cache=cache)
+        assert cache.misses == len(tasks)
+        run_tasks(tasks, jobs=1, cache=cache)
+        assert cache.hits == len(tasks)
+
+    def test_invalid_jobs_rejected(self, tasks):
+        with pytest.raises(ValueError):
+            run_tasks(tasks, jobs=0)
+
+
+class TestSweepIntegration:
+    def test_sweep_capacity_parallel_equals_serial(self, small_suite):
+        base = ArchitectureConfig(topology="L3", trap_capacity=6)
+        serial = sweep_capacity(small_suite, capacities=(6, 8), base=base)
+        parallel = sweep_capacity(small_suite, capacities=(6, 8), base=base, jobs=2)
+        assert [_record_identity(r) for r in serial] == \
+               [_record_identity(r) for r in parallel]
+
+    def test_microarchitecture_cache_hit_counters(self, small_suite):
+        """Each (app, capacity, reorder) compiles once; repeats hit the cache."""
+
+        base = ArchitectureConfig(topology="L3", trap_capacity=6)
+        cache = ProgramCache()
+        sweep_microarchitecture(small_suite, capacities=(6,), gates=("AM1", "FM"),
+                                reorders=("GS",), base=base, cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": len(small_suite),
+                                 "entries": len(small_suite)}
+        sweep_microarchitecture(small_suite, capacities=(6,), gates=("PM",),
+                                reorders=("GS",), base=base, cache=cache)
+        assert cache.stats() == {"hits": len(small_suite), "misses": len(small_suite),
+                                 "entries": len(small_suite)}
