@@ -14,11 +14,19 @@ paper's capacity sweep (this is what EXPERIMENTS.md records).
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
+from pathlib import Path
 from typing import Dict, List, Sequence
 
 from repro.apps import scaled_suite, table2_suite
 from repro.ir.circuit import Circuit
+
+#: Where the machine-readable benchmark artefacts live (committed per-PR so
+#: the perf trajectory is tracked in data, not only in prose).
+BENCH_DATA_DIR = Path(__file__).parent / "data"
 
 #: Capacity sweep used at paper scale (Figures 6-8 x axis).
 PAPER_CAPACITIES = (14, 18, 22, 26, 30, 34)
@@ -55,6 +63,40 @@ def reference_capacity() -> int:
 
     capacities = bench_capacities()
     return capacities[len(capacities) // 2]
+
+
+def record_bench(name: str, section: str, payload: Dict[str, object]) -> Path:
+    """Merge one section into ``data/BENCH_<name>.json`` and return the path.
+
+    Each bench run updates its own section, so the artefact accumulates the
+    full picture as the suite runs while any single test can refresh its
+    numbers in isolation.  Environment metadata rides along so trajectories
+    are only compared within one machine/scale.
+    """
+
+    from repro.io.serialization import SCHEMA_VERSION
+
+    path = BENCH_DATA_DIR / f"BENCH_{name}.json"
+    data: Dict[str, object] = {}
+    if path.exists():
+        with open(path) as handle:
+            data = json.load(handle)
+        if data.get("machine") != platform.platform() or \
+                data.get("scale") != bench_scale():
+            # Sections from another machine/scale would be mislabelled by
+            # the refreshed metadata; start the artefact over instead.
+            data = {}
+    data["schema_version"] = SCHEMA_VERSION
+    data["machine"] = platform.platform()
+    data["python"] = sys.version.split()[0]
+    data["scale"] = bench_scale()
+    sections = data.setdefault("sections", {})
+    sections[section] = payload
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def print_series(title: str, capacities: Sequence[int],

@@ -33,7 +33,7 @@ from typing import Optional, Tuple
 import pytest
 
 import _legacy_engine
-from _common import bench_scale, bench_suite
+from _common import bench_scale, bench_suite, record_bench
 
 from repro.io.fingerprint import result_fingerprint
 from repro.isa.operations import GateOp
@@ -95,10 +95,12 @@ def test_compile_and_simulate_units(benchmark):
     if comparable:
         header += f" {'seed comp.':>11s} {'seed sim.':>10s}"
     print(header)
+    timings = {}
     for name, circuit in suite.items():
         compile_s = _best_of(lambda: compile_for(circuit, config))
         program, device = compile_for(circuit, config)
         simulate_s = _best_of(lambda: simulate(program, device))
+        timings[name] = {"compile_s": compile_s, "simulate_s": simulate_s}
         line = f"  {name:12s} {compile_s * 1e3:8.1f}ms {simulate_s * 1e3:8.1f}ms"
         if comparable:
             seed_c = baseline["compile_s"].get(name)
@@ -106,6 +108,8 @@ def test_compile_and_simulate_units(benchmark):
             if seed_c and seed_s:
                 line += f" {seed_c / compile_s:9.2f}x {seed_s / simulate_s:8.2f}x"
         print(line)
+    record_bench("pipeline", "compile_simulate",
+                 {"config": config.name, "per_app": timings})
 
     qft = suite["QFT"]
     benchmark(lambda: compile_for(qft, config))
@@ -138,6 +142,9 @@ def test_engine_fused_vs_legacy(benchmark):
     print(f"  legacy 3-pass engine : {legacy_s * 1e3:8.1f} ms")
     print(f"  fused  1-pass engine : {fused_s * 1e3:8.1f} ms   "
           f"({legacy_s / fused_s:.2f}x)")
+    record_bench("pipeline", "engine_ab",
+                 {"legacy_s": legacy_s, "fused_s": fused_s,
+                  "speedup": legacy_s / fused_s})
     assert fused_s <= legacy_s, "fused engine slower than the seed engine"
 
     program, device = compiled["QFT"]
@@ -169,6 +176,8 @@ def test_fig8_sweep_end_to_end(benchmark):
     print(f"Fig. 8-style sweep (scale={bench_scale()}, {len(records)} design points):")
     print(f"  optimized, cold cache: {cold_s:8.3f} s")
     print(f"  optimized, warm cache: {warm_s:8.3f} s   (memoized re-sweep)")
+    record_bench("pipeline", "fig8_sweep",
+                 {"points": len(records), "cold_s": cold_s, "warm_s": warm_s})
     if comparable:
         seed_s = baseline["fig8_sweep_s"]
         speedup = seed_s / cold_s
@@ -207,6 +216,8 @@ def test_operation_memory_footprint():
     print(f"  slotted GateOp     : {slotted_bytes:4d} B")
     print(f"  dict-backed GateOp : {dict_bytes:4d} B   "
           f"({dict_bytes / slotted_bytes:.1f}x larger)")
+    record_bench("pipeline", "op_memory",
+                 {"slotted_bytes": slotted_bytes, "dict_bytes": dict_bytes})
     assert not hasattr(slotted, "__dict__")
     assert slotted_bytes < dict_bytes
 

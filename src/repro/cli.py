@@ -8,17 +8,39 @@ designers can explore configurations without writing scripts::
     python -m repro table2
     python -m repro run --app QAOA --topology L6 --capacity 20 --gate FM --reorder GS
     python -m repro sweep --figure 6 --small --output fig6.json
-    python -m repro sweep --figure 8 --jobs 4
+    python -m repro sweep --figure 8 --jobs 4 --store runs/fig8
     python -m repro device --topology G2x3 --capacity 20
     python -m repro check-budget
 
 Sweeps share one compiled-program cache per invocation, so design points that
 differ only in the two-qubit gate implementation (or that repeat across
 figures) are compiled once; ``--jobs N`` additionally fans the sweep out to N
-worker processes with identical, deterministic output.
+worker processes with identical, deterministic output, and ``--store DIR``
+persists every evaluated design point so an interrupted sweep resumes where
+it stopped.
+
+Custom design-space studies run through the ``dse`` family (quickstart)::
+
+    # Every point of a space, resumably, 4 worker processes:
+    python -m repro dse run --apps QFT,BV --qubits 16 --topologies L3,G2x2 \\
+        --capacities 6,8,10 --store runs/study --jobs 4
+
+    # The same study split across two machines, then merged by file drop:
+    python -m repro dse run ... --store runs/study --shard 1/2
+    python -m repro dse run ... --store runs/study --shard 2/2
+
+    # Adaptive search instead of the full grid:
+    python -m repro dse run --space space.json --store runs/study \\
+        --strategy greedy --seed 7 --metric fidelity
+
+    # Inspect, rank, export:
+    python -m repro dse status --store runs/study
+    python -m repro dse pareto --store runs/study --app qft16
+    python -m repro dse export --store runs/study --output study.json
 
 Every subcommand prints human-readable text; ``--output`` additionally writes
-the underlying data as JSON (via :mod:`repro.io`).
+the underlying data as JSON (via :mod:`repro.io`), creating missing parent
+directories and exiting non-zero if the file cannot be written.
 """
 
 from __future__ import annotations
@@ -70,6 +92,38 @@ def _config_from_args(args) -> ArchitectureConfig:
                               buffer_ions=args.buffer)
 
 
+def _write_json(payload, path) -> bool:
+    """Write ``--output`` JSON; report and return ``False`` on failure.
+
+    Parent directories are created as needed; any OS-level write failure
+    (unwritable directory, path component that is a file, disk full, ...)
+    is reported on stderr instead of crashing with a traceback, and the
+    calling subcommand exits non-zero.
+    """
+
+    try:
+        written = save_json(payload, path)
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return False
+    print(f"\nWrote JSON to {written}")
+    return True
+
+
+def _comma_list(text: str):
+    """Parse a comma-separated CLI list, dropping empty items."""
+
+    return tuple(item.strip() for item in text.split(",") if item.strip())
+
+
+def _comma_ints(text: str):
+    items = _comma_list(text)
+    try:
+        return tuple(int(item) for item in items)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -101,7 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes for the sweep (default: 1 = serial; "
                             "results are deterministic for any value)")
+    sweep.add_argument("--store", default=None,
+                       help="experiment-store directory: evaluated design points "
+                            "persist there and interrupted sweeps resume without "
+                            "recomputation")
     sweep.add_argument("--output", default=None, help="write the series as JSON")
+
+    _add_dse_parsers(subparsers)
 
     device = subparsers.add_parser("device", help="describe a candidate device")
     device.add_argument("--qubits", type=int, default=None,
@@ -119,6 +179,82 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_dse_parsers(subparsers) -> None:
+    """The ``dse`` family: run / status / pareto / export."""
+
+    dse = subparsers.add_parser(
+        "dse",
+        help="design-space exploration: resumable, shardable custom studies",
+        description="Explore a custom design space through the persistent "
+                    "experiment store.  Points already in the store are never "
+                    "recomputed, so killed runs resume for free and shards "
+                    "merge by writing into one directory.")
+    dse_sub = dse.add_subparsers(dest="dse_command")
+
+    run = dse_sub.add_parser(
+        "run", help="evaluate a design space under a search strategy",
+        epilog="The space comes from --space (a JSON spec with keys apps, "
+               "qubits, topologies, capacities, gates, reorders, buffers) or "
+               "from the axis flags below.  All strategies are deterministic "
+               "under a fixed --seed for any --jobs or shard split.")
+    run.add_argument("--space", default=None,
+                     help="JSON design-space spec file (overrides axis flags)")
+    run.add_argument("--apps", type=_comma_list, default=None,
+                     help="comma-separated application names (e.g. QFT,BV)")
+    run.add_argument("--qubits", type=_comma_ints, default=None,
+                     help="comma-separated application sizes (default: paper scale)")
+    run.add_argument("--topologies", type=_comma_list, default=("L6",),
+                     help="comma-separated topology names (default: L6)")
+    run.add_argument("--capacities", type=_comma_ints, default=(14, 18, 22, 26, 30, 34),
+                     help="comma-separated trap capacities (default: paper sweep)")
+    run.add_argument("--gates", type=_comma_list, default=("FM",),
+                     help="comma-separated gate implementations (default: FM)")
+    run.add_argument("--reorders", type=_comma_list, default=("GS",),
+                     help="comma-separated reorder methods (default: GS)")
+    run.add_argument("--buffers", type=_comma_ints, default=(2,),
+                     help="comma-separated buffer sizes (default: 2)")
+    run.add_argument("--store", default=None,
+                     help="experiment-store directory (omit for a one-off "
+                          "in-memory run)")
+    run.add_argument("--strategy", default="grid",
+                     choices=["grid", "random", "greedy", "halving"],
+                     help="search strategy (default: grid = exhaustive)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="random seed for random/greedy/halving (default: 0)")
+    run.add_argument("--samples", type=_positive_int, default=None,
+                     help="points to draw for --strategy random")
+    run.add_argument("--metric", default="fidelity", choices=["fidelity", "runtime"],
+                     help="objective to optimise (default: fidelity)")
+    run.add_argument("--proxy-qubits", type=_positive_int, default=12,
+                     help="starting proxy size for --strategy halving (default: 12)")
+    run.add_argument("--jobs", type=_positive_int, default=1,
+                     help="worker processes (default: 1 = serial)")
+    run.add_argument("--shard", default=None,
+                     help="evaluate only shard i/N of the points (e.g. 2/4); "
+                          "each shard appends to its own store file")
+    run.add_argument("--top", type=_positive_int, default=5,
+                     help="rows to print in the summary table (default: 5)")
+    run.add_argument("--output", default=None, help="write the records as JSON")
+
+    status = dse_sub.add_parser("status", help="summarise an experiment store")
+    status.add_argument("--store", required=True, help="experiment-store directory")
+    status.add_argument("--space", default=None,
+                        help="JSON spec: additionally report completed/pending "
+                             "points of this space")
+
+    pareto = dse_sub.add_parser(
+        "pareto", help="fidelity-vs-runtime Pareto frontier of a store")
+    pareto.add_argument("--store", required=True, help="experiment-store directory")
+    pareto.add_argument("--app", default=None,
+                        help="restrict to one application (circuit name)")
+    pareto.add_argument("--output", default=None, help="write the frontier as JSON")
+
+    export = dse_sub.add_parser(
+        "export", help="merge and export a store as one canonical JSON file")
+    export.add_argument("--store", required=True, help="experiment-store directory")
+    export.add_argument("--output", required=True, help="destination JSON file")
+
+
 # --------------------------------------------------------------------------- #
 # Subcommand implementations
 # --------------------------------------------------------------------------- #
@@ -131,6 +267,9 @@ def _cmd_info() -> int:
     print("Reordering  : GS (gate-based swapping), IS (physical ion swapping)")
     print()
     print("Typical workflow: `python -m repro run --app QAOA --topology L6 --capacity 20`")
+    print("Design studies  : `python -m repro dse run --apps QFT,BV "
+          "--capacities 14,18,22 --store runs/study` (resumable; see "
+          "`repro dse --help`)")
     return 0
 
 
@@ -165,13 +304,13 @@ def _cmd_run(args) -> int:
           f"(motional {errors['motional']:.3e}, background {errors['background']:.3e})")
     print(f"Shuttles            : {record.num_shuttles}")
     print(f"Max motional energy : {result.max_motional_energy:.2f} quanta")
-    if args.output:
-        path = save_json(result_to_dict(result), args.output)
-        print(f"\nWrote JSON result to {path}")
+    if args.output and not _write_json(result_to_dict(result), args.output):
+        return 1
     return 0
 
 
 def _cmd_sweep(args) -> int:
+    store = _open_store(args.store) if args.store else None
     if args.small:
         suite = scaled_suite(16)
         capacities = (6, 8, 10)
@@ -186,15 +325,15 @@ def _cmd_sweep(args) -> int:
     if args.figure == 6:
         bundle = figure6(suite, capacities=capacities,
                          base=base_linear.with_updates(gate="FM", reorder="GS"),
-                         jobs=args.jobs)
+                         jobs=args.jobs, store=store)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
     elif args.figure == 7:
         bundle = figure7(suite, capacities=capacities, topologies=topologies,
-                         jobs=args.jobs)
+                         jobs=args.jobs, store=store)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
     else:
         bundle = figure8(suite, capacities=capacities, base=base_linear,
-                         jobs=args.jobs)
+                         jobs=args.jobs, store=store)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
 
     print(f"Figure {args.figure} series over capacities {list(capacities)}:")
@@ -202,10 +341,212 @@ def _cmd_sweep(args) -> int:
         print(f"\n[{metric}]")
         for app, values in per_app.items():
             print(f"  {app:12s} {values}")
-    if args.output:
-        path = save_json(figure_bundle_to_dict(bundle), args.output)
-        print(f"\nWrote JSON bundle to {path}")
+    if store is not None:
+        print(f"\nExperiment store: {store.directory} ({len(store)} points)")
+        store.close()
+    if args.output and not _write_json(figure_bundle_to_dict(bundle), args.output):
+        return 1
     return 0
+
+
+def _space_from_args(args):
+    """A DesignSpace from ``--space`` JSON or from the axis flags."""
+
+    from repro.dse import DesignSpace
+    from repro.io import load_json
+
+    if args.space:
+        return DesignSpace.from_dict(load_json(args.space))
+    if not args.apps:
+        raise SystemExit("error: provide --space FILE or --apps (e.g. --apps QFT,BV)")
+    return DesignSpace(
+        apps=args.apps,
+        qubits=args.qubits if args.qubits else (None,),
+        topologies=args.topologies,
+        capacities=args.capacities,
+        gates=args.gates,
+        reorders=args.reorders,
+        buffers=args.buffers,
+    )
+
+
+def _print_record_table(records, limit=None) -> None:
+    rows = [record.as_row() for record in records]
+    if limit is not None:
+        rows = rows[:limit]
+    print(f"  {'application':12s} {'architecture':>22s} {'fidelity':>12s} "
+          f"{'runtime':>10s} {'shuttles':>9s}")
+    for row in rows:
+        arch = f"{row['topology']}-cap{row['capacity']}-{row['gate']}-{row['reorder']}"
+        print(f"  {row['application']:12s} {arch:>22s} {row['fidelity']:12.4e} "
+              f"{row['duration_s']:9.4f}s {row['shuttles']:9d}")
+
+
+def _cmd_dse_run(args) -> int:
+    from repro.dse import DSERunner, Shard, make_strategy
+
+    space = _space_from_args(args)
+    try:
+        strategy = make_strategy(args.strategy, seed=args.seed, metric=args.metric,
+                                 samples=args.samples,
+                                 proxy_qubits=args.proxy_qubits)
+        shard = Shard.parse(args.shard) if args.shard else None
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    store = _open_store(args.store) if args.store else None
+
+    print(f"Design space: {space.size} points "
+          f"({len(space.apps)} apps x {len(space.qubits)} sizes x "
+          f"{len(space.topologies)} topologies x "
+          f"{len(space.capacities)} capacities x {len(space.gates)} gates x "
+          f"{len(space.reorders)} reorders x {len(space.buffers)} buffers)")
+    if store is not None:
+        print(f"Store       : {store.directory} ({len(store)} points already "
+              f"evaluated)")
+    print(f"Strategy    : {strategy.name} (seed {args.seed}, metric {args.metric})"
+          + (f", shard {args.shard}" if shard else ""))
+
+    runner = DSERunner(space, store=store, jobs=args.jobs, shard=shard)
+    try:
+        result = runner.run(strategy)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    stats = runner.stats
+    print(f"\nEvaluated {stats['evaluated']} points, replayed {stats['reused']} "
+          f"from the store, left {stats['skipped']} to other shards.")
+
+    evaluated = result.evaluated
+    if evaluated:
+        # Adaptive strategies revisit points; show each distinct point once.
+        seen = set()
+        distinct = []
+        for record in evaluated:
+            row = record.as_row()
+            key = (row["application"], row["topology"], row["capacity"],
+                   row["gate"], row["reorder"], row["buffer"])
+            if key not in seen:
+                seen.add(key)
+                distinct.append(record)
+        ranked = sorted(range(len(distinct)),
+                        key=lambda i: (-_objective(distinct[i], args.metric), i))
+        print(f"\nTop {min(args.top, len(ranked))} points by {args.metric}:")
+        _print_record_table([distinct[i] for i in ranked], limit=args.top)
+    if result.best is not None:
+        best_row = result.best.as_row()
+        print(f"\nBest point  : {best_row['application']} on "
+              f"{best_row['topology']}-cap{best_row['capacity']}-"
+              f"{best_row['gate']}-{best_row['reorder']} "
+              f"(fidelity {best_row['fidelity']:.4e}, "
+              f"runtime {best_row['duration_s']:.4f} s)")
+    if runner.store.directory is not None:
+        runner.store.close()
+
+    if args.output:
+        payload = {
+            "space": space.to_dict(),
+            "strategy": {"name": strategy.name, "seed": args.seed,
+                         "metric": args.metric},
+            "trace": result.trace,
+            "records": [record.as_row() for record in evaluated],
+        }
+        if not _write_json(payload, args.output):
+            return 1
+    return 0
+
+
+def _objective(record, metric):
+    from repro.dse import objective_value
+
+    return objective_value(record, metric)
+
+
+def _cmd_dse_status(args) -> int:
+    from repro.dse import DSERunner
+
+    store = _open_store(args.store)
+    print(f"Experiment store {store.directory}: {len(store)} evaluated points")
+    for source, count in sorted(store.source_counts().items()):
+        print(f"  {source:24s} {count} rows")
+    if store.skipped_lines:
+        print(f"  (skipped {store.skipped_lines} truncated/corrupt lines)")
+    apps = {}
+    for record in store.records():
+        apps[record.application] = apps.get(record.application, 0) + 1
+    for app, count in sorted(apps.items()):
+        print(f"  {app:24s} {count} points")
+    if args.space:
+        namespace = argparse.Namespace(space=args.space, apps=None)
+        space = _space_from_args(namespace)
+        runner = DSERunner(space, store=store)
+        pending = sum(1 for point in space.points()
+                      if runner.fingerprint(point) not in store)
+        print(f"\nSpace {args.space}: {space.size - pending}/{space.size} "
+              f"points completed, {pending} pending")
+    return 0
+
+
+def _cmd_dse_pareto(args) -> int:
+    from repro.dse import per_app_frontiers
+
+    store = _open_store(args.store)
+    records = store.records()
+    if args.app:
+        records = [r for r in records if r.application == args.app]
+        if not records:
+            print(f"error: no points for application {args.app!r} in "
+                  f"{store.directory}", file=sys.stderr)
+            return 1
+    frontiers = per_app_frontiers(records)
+    payload = {}
+    for app, frontier in frontiers.items():
+        print(f"\nPareto frontier for {app} ({len(frontier)} of "
+              f"{sum(1 for r in records if r.application == app)} points, "
+              f"fastest first):")
+        _print_record_table(frontier)
+        payload[app] = [record.as_row() for record in frontier]
+    if args.output and not _write_json(payload, args.output):
+        return 1
+    return 0
+
+
+def _cmd_dse_export(args) -> int:
+    from repro.io import SCHEMA_VERSION
+
+    store = _open_store(args.store)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "num_points": len(store),
+        "rows": store.sorted_rows(),
+    }
+    print(f"Exporting {len(store)} points from {store.directory}")
+    if not _write_json(payload, args.output):
+        return 1
+    return 0
+
+
+def _open_store(path):
+    """Open an experiment store, turning load errors into a clean exit."""
+
+    from repro.dse import ExperimentStore
+
+    try:
+        return ExperimentStore(path)
+    except ValueError as exc:
+        raise SystemExit(f"error: cannot read experiment store {path}: {exc}")
+
+
+def _cmd_dse(args, parser) -> int:
+    if args.dse_command is None:
+        print("usage: repro dse {run,status,pareto,export} ... "
+              "(see `repro dse --help`)", file=sys.stderr)
+        return 1
+    handlers = {
+        "run": _cmd_dse_run,
+        "status": _cmd_dse_status,
+        "pareto": _cmd_dse_pareto,
+        "export": _cmd_dse_export,
+    }
+    return handlers[args.dse_command](args)
 
 
 def _cmd_device(args) -> int:
@@ -243,6 +584,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "dse":
+        return _cmd_dse(args, parser)
     if args.command == "device":
         return _cmd_device(args)
     if args.command == "check-budget":

@@ -1,0 +1,79 @@
+"""Design-space exploration: spaces, stores, strategies, runners, frontiers.
+
+This package layers a general exploration engine over the fast
+compile/simulate core:
+
+* :mod:`~repro.dse.space` -- :class:`DesignSpace`, the declarative cross
+  product of sweep axes, with validation, enumeration and stable point
+  fingerprints.
+* :mod:`~repro.dse.store` -- :class:`ExperimentStore`, an append-only JSONL
+  store keyed by point fingerprint: dedup, resume-after-kill, shard merge.
+* :mod:`~repro.dse.strategies` -- exhaustive grid, seeded random sampling,
+  greedy coordinate descent and successive halving, all deterministic under
+  a fixed seed for any worker count.
+* :mod:`~repro.dse.runner` -- :class:`DSERunner`, which drives points through
+  the parallel sweep executor with store replay, gate fan-out and
+  ``--shard i/N`` support.
+* :mod:`~repro.dse.pareto` -- best-point selection and fidelity-vs-runtime
+  Pareto frontiers.
+
+The paper's Figures 6-8 are expressed as design spaces and executed through
+this engine (see :mod:`repro.toolflow.sweep`); ``python -m repro dse`` is the
+command-line entry point for custom studies.
+"""
+
+from repro.dse.pareto import (
+    OBJECTIVES,
+    best_record,
+    frontier_rows,
+    objective_value,
+    pareto_frontier,
+    per_app_frontiers,
+)
+from repro.dse.runner import DSERunner, Shard
+from repro.dse.space import AXES, DesignPoint, DesignSpace, point_from_spec
+from repro.dse.store import (
+    CachedRecord,
+    CachedResult,
+    ExperimentStore,
+    record_to_row,
+    row_to_record,
+)
+from repro.dse.strategies import (
+    STRATEGY_NAMES,
+    CoordinateDescent,
+    ExhaustiveGrid,
+    RandomSampling,
+    Strategy,
+    StrategyResult,
+    SuccessiveHalving,
+    make_strategy,
+)
+
+__all__ = [
+    "AXES",
+    "OBJECTIVES",
+    "STRATEGY_NAMES",
+    "CachedRecord",
+    "CachedResult",
+    "CoordinateDescent",
+    "DSERunner",
+    "DesignPoint",
+    "DesignSpace",
+    "ExhaustiveGrid",
+    "ExperimentStore",
+    "RandomSampling",
+    "Shard",
+    "Strategy",
+    "StrategyResult",
+    "SuccessiveHalving",
+    "best_record",
+    "frontier_rows",
+    "make_strategy",
+    "objective_value",
+    "pareto_frontier",
+    "per_app_frontiers",
+    "point_from_spec",
+    "record_to_row",
+    "row_to_record",
+]

@@ -1,0 +1,83 @@
+"""Best-point selection and fidelity-vs-runtime Pareto frontiers.
+
+The paper's design-space study boils down to two questions per application:
+which architecture maximises reliability, and what does the
+reliability/runtime trade-off curve look like (Figures 6-8 read off its
+extremes).  These helpers answer both over any mix of live
+:class:`~repro.toolflow.runner.ExperimentRecord` and store-replayed
+:class:`~repro.dse.store.CachedRecord` objects.
+
+All orderings are deterministic: ties break towards the earlier record, so
+the same record list always yields the same frontier and best point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: Objectives understood by the strategies and the CLI.
+OBJECTIVES = ("fidelity", "runtime")
+
+
+def objective_value(record, metric: str = "fidelity") -> float:
+    """Scalar score of a record under ``metric`` -- higher is always better."""
+
+    if metric == "fidelity":
+        return record.fidelity
+    if metric == "runtime":
+        return -record.duration_seconds
+    raise ValueError(f"unknown objective {metric!r}; expected one of {OBJECTIVES}")
+
+
+def best_record(records: Iterable, metric: str = "fidelity"):
+    """The record with the best objective (first wins on ties); None if empty."""
+
+    best = None
+    best_score = None
+    for record in records:
+        score = objective_value(record, metric)
+        if best is None or score > best_score:
+            best, best_score = record, score
+    return best
+
+
+def pareto_frontier(records: Iterable) -> List:
+    """Records not dominated in (runtime down, fidelity up).
+
+    A record is dominated when another is at least as fast *and* at least as
+    reliable (and strictly better in one).  The frontier is returned fastest
+    first; among records with identical runtime only the most reliable
+    (earliest on ties) survives.
+    """
+
+    indexed = list(enumerate(records))
+    # Sort: runtime ascending, fidelity descending, original order last so
+    # the sweep below is deterministic for fully tied records.  After this
+    # sort, a runtime tie always presents its best fidelity first, so the
+    # single fidelity check below also resolves ties.
+    indexed.sort(key=lambda item: (item[1].duration_seconds,
+                                   -item[1].fidelity, item[0]))
+    frontier: List = []
+    best_fidelity: Optional[float] = None
+    for _, record in indexed:
+        if best_fidelity is not None and record.fidelity <= best_fidelity:
+            continue
+        frontier.append(record)
+        best_fidelity = record.fidelity
+    return frontier
+
+
+def frontier_rows(records: Iterable) -> List[Dict[str, object]]:
+    """The frontier as flat report rows (fastest first)."""
+
+    return [record.as_row() for record in pareto_frontier(records)]
+
+
+def per_app_frontiers(records: Iterable) -> Dict[str, List]:
+    """Frontier per application, keyed by application name (sorted)."""
+
+    by_app: Dict[str, List] = {}
+    for record in records:
+        by_app.setdefault(record.application, []).append(record)
+    return {app: pareto_frontier(app_records)
+            for app, app_records in sorted(by_app.items())}

@@ -1,0 +1,358 @@
+"""Persistent, append-only storage of evaluated design points.
+
+An :class:`ExperimentStore` is a directory of JSONL files, one JSON object
+per evaluated point, keyed by the point's stable fingerprint
+(:func:`repro.io.fingerprint.design_point_fingerprint`).  The format is
+designed around three operational needs of long sweeps:
+
+* **Resume after kill.**  Rows are appended and flushed one at a time; a
+  process killed mid-write leaves at most one truncated trailing line, which
+  the loader skips.  Re-running the same space recomputes only the missing
+  points.
+* **Dedup.**  The first row wins for any fingerprint; re-adding an evaluated
+  point is a no-op, so overlapping spaces (Figure 6 and the L6 half of
+  Figure 7, shards with redundant boundaries, ...) never duplicate work or
+  data.
+* **Shard merge.**  Every writer appends to its own file
+  (``results.jsonl``, ``shard-1of4.jsonl``, ...); opening the directory
+  merges all ``*.jsonl`` files, so combining shard outputs is ``cp``.
+
+Rows are plain JSON; floats survive the round-trip bit-exactly (Python's
+``json`` renders floats with ``repr`` and parses them back to the same
+double), which is what keeps store-routed figure sweeps golden-identical to
+direct runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.dse.space import DesignPoint, point_from_spec
+
+#: Default writer file name (shard writers use ``shard-<i>of<N>.jsonl``).
+DEFAULT_WRITER = "results"
+
+
+class CachedResult:
+    """Attribute view over stored result metrics.
+
+    Exposes the subset of :class:`~repro.sim.results.SimulationResult` that
+    reports, figures and strategies read, backed by the flat metrics
+    dictionary of a store row.  Values are the exact floats of the original
+    simulation (JSON round-trips doubles losslessly).
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: Dict[str, float]) -> None:
+        self._metrics = metrics
+
+    @property
+    def duration(self) -> float:
+        return self._metrics["duration_us"]
+
+    @property
+    def duration_seconds(self) -> float:
+        return self._metrics["duration_s"]
+
+    @property
+    def fidelity(self) -> float:
+        return self._metrics["fidelity"]
+
+    @property
+    def log_fidelity(self) -> float:
+        return self._metrics["log_fidelity"]
+
+    @property
+    def computation_seconds(self) -> float:
+        return self._metrics["computation_s"]
+
+    @property
+    def communication_seconds(self) -> float:
+        return self._metrics["communication_s"]
+
+    @property
+    def max_motional_energy(self) -> float:
+        return self._metrics["max_motional_energy"]
+
+    @property
+    def mean_background_error(self) -> float:
+        return self._metrics["mean_background_error"]
+
+    @property
+    def mean_motional_error(self) -> float:
+        return self._metrics["mean_motional_error"]
+
+    @property
+    def num_shuttles(self) -> int:
+        return int(self._metrics["num_shuttles"])
+
+    @property
+    def num_ms_gates(self) -> int:
+        return int(self._metrics["num_ms_gates"])
+
+    def as_dict(self) -> Dict[str, float]:
+        """The stored metrics (same keys as ``SimulationResult.as_dict``)."""
+
+        return dict(self._metrics)
+
+
+class CachedRecord:
+    """Record view over one store row, interchangeable with ExperimentRecord.
+
+    Exposes ``application``, ``config``, ``result``, ``program_size``,
+    ``num_shuttles`` and ``as_row()`` exactly like
+    :class:`~repro.toolflow.runner.ExperimentRecord`, so sweep and figure
+    drivers do not care whether a point was computed in this process or
+    replayed from disk.
+    """
+
+    __slots__ = ("point", "application", "result", "program_size", "num_shuttles")
+
+    def __init__(self, point: DesignPoint, application: str,
+                 metrics: Dict[str, float],
+                 program_size: int, num_shuttles: int) -> None:
+        self.point = point
+        # The circuit's own name (e.g. "qft64"), which can differ from the
+        # suite key the point addresses it by (e.g. "QFT").
+        self.application = application
+        self.result = CachedResult(metrics)
+        self.program_size = program_size
+        self.num_shuttles = num_shuttles
+
+    @property
+    def config(self):
+        return self.point.config
+
+    @property
+    def fidelity(self) -> float:
+        return self.result.fidelity
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.result.duration_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        row = {
+            "application": self.application,
+            "topology": self.config.topology,
+            "capacity": self.config.trap_capacity,
+            "gate": self.config.gate,
+            "reorder": self.config.reorder,
+            "buffer": self.config.buffer_ions,
+            "program_ops": self.program_size,
+            "shuttles": self.num_shuttles,
+        }
+        row.update(self.result.as_dict())
+        return row
+
+
+def row_to_record(row: Dict[str, object]) -> CachedRecord:
+    """Rebuild a record view from one stored row."""
+
+    return CachedRecord(
+        point=point_from_spec(row["point"]),
+        application=row["application"],
+        metrics=row["metrics"],
+        program_size=row["program_ops"],
+        num_shuttles=row["shuttles"],
+    )
+
+
+def record_to_row(fingerprint: str, point: DesignPoint, record) -> Dict[str, object]:
+    """Serialise one evaluated point (live or cached record) to a store row."""
+
+    from repro.io.serialization import SCHEMA_VERSION
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "point": point.spec(),
+        "application": record.application,
+        "program_ops": record.program_size,
+        "shuttles": record.num_shuttles,
+        "metrics": record.result.as_dict(),
+    }
+
+
+class ExperimentStore:
+    """Append-only on-disk store of evaluated design points.
+
+    ``directory=None`` gives a purely in-memory store with the same API --
+    the sweep drivers always route through a store, persistent or not.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 writer: str = DEFAULT_WRITER) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.writer = writer
+        self._rows: Dict[str, Dict] = {}
+        self._sources: Dict[str, str] = {}
+        self._handle = None
+        self.skipped_lines = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        from repro.io.serialization import check_schema_version
+
+        for path in sorted(self.directory.glob("*.jsonl")):
+            with open(path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A kill mid-append leaves a truncated trailing line;
+                        # every complete row before it is still valid.
+                        self.skipped_lines += 1
+                        continue
+                    check_schema_version(row, source=str(path))
+                    fingerprint = row.get("fingerprint")
+                    if not fingerprint or fingerprint in self._rows:
+                        continue
+                    self._rows[fingerprint] = row
+                    self._sources[fingerprint] = path.name
+
+    def reload(self) -> None:
+        """Re-read the directory (pick up rows appended by other writers)."""
+
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._rows.clear()
+        self._sources.clear()
+        self.skipped_lines = 0
+        if self.directory is not None:
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._rows
+
+    def get(self, fingerprint: str) -> Optional[Dict]:
+        """The stored row for a fingerprint, or ``None``."""
+
+        return self._rows.get(fingerprint)
+
+    def rows(self) -> Iterator[Dict]:
+        """All rows in load/insertion order."""
+
+        return iter(self._rows.values())
+
+    def sorted_rows(self) -> List[Dict]:
+        """All rows in fingerprint order (canonical for exports and diffs)."""
+
+        return [self._rows[fp] for fp in sorted(self._rows)]
+
+    def fingerprints(self) -> List[str]:
+        return list(self._rows)
+
+    def source_counts(self) -> Dict[str, int]:
+        """Rows per originating file (``"memory"`` for unpersisted rows)."""
+
+        counts: Dict[str, int] = {}
+        for source in self._sources.values():
+            counts[source] = counts.get(source, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    @property
+    def writer_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{self.writer}.jsonl"
+
+    def add(self, row: Dict) -> bool:
+        """Append one row; returns ``False`` (no-op) if its point is present.
+
+        Persistent stores write and flush the line immediately, so a kill
+        between two points loses at most the in-flight row.
+        """
+
+        fingerprint = row["fingerprint"]
+        if fingerprint in self._rows:
+            return False
+        self._rows[fingerprint] = row
+        if self.directory is not None:
+            if self._handle is None:
+                self._handle = self._open_writer()
+            self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+            self._handle.flush()
+            self._sources[fingerprint] = self.writer_path.name
+        else:
+            self._sources[fingerprint] = "memory"
+        return True
+
+    def _open_writer(self):
+        """Open the writer file for append, healing a torn trailing line.
+
+        A run killed mid-write can leave the file without a final newline;
+        appending straight after would concatenate the next row onto the
+        torn fragment and silently lose it on reload.  Terminating the
+        fragment keeps it skippable and the new row parseable.
+        """
+
+        path = self.writer_path
+        if path.exists():
+            with open(path, "rb") as existing:
+                existing.seek(0, os.SEEK_END)
+                if existing.tell() > 0:
+                    existing.seek(-1, os.SEEK_END)
+                    if existing.read(1) != b"\n":
+                        with open(path, "a") as repair:
+                            repair.write("\n")
+        return open(path, "a")
+
+    def set_writer(self, writer: str) -> None:
+        """Redirect future appends to ``<writer>.jsonl`` (rows stay loaded).
+
+        The writer file choice is independent of the rows already indexed,
+        so a sharded runner can retarget an open store without re-reading
+        the directory.
+        """
+
+        if writer != self.writer:
+            self.close()
+            self.writer = writer
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def merge_from(self, other: "ExperimentStore") -> int:
+        """Copy every row of ``other`` not already present; returns the count.
+
+        Used to fold shard outputs produced elsewhere into a master store
+        (for same-filesystem shards, dropping the shard files into the store
+        directory achieves the same thing with no copy).
+        """
+
+        added = 0
+        for row in other.rows():
+            if self.add(row):
+                added += 1
+        return added
+
+    def records(self) -> List[CachedRecord]:
+        """Every stored point as a record view, in insertion order."""
+
+        return [row_to_record(row) for row in self.rows()]

@@ -1,0 +1,272 @@
+"""Pluggable search strategies over a design space.
+
+Each strategy decides *which* points to evaluate (and in what order); the
+:class:`~repro.dse.runner.DSERunner` decides *how* (store replay, gate
+fan-out, worker pool, sharding).  All strategies are deterministic under a
+fixed seed: randomness comes only from ``random.Random(seed)``, evaluation
+results are independent of ``jobs``, and every tie breaks towards the
+earlier candidate, so the same (space, strategy, seed) always explores the
+same points and reports the same best.
+
+* :class:`ExhaustiveGrid` -- every point, in enumeration order (the paper's
+  figure sweeps; shardable).
+* :class:`RandomSampling` -- a seeded subset of the grid (shardable).
+* :class:`CoordinateDescent` -- greedy hill-climb: sweep one axis at a time
+  from a seeded start, move to the best neighbour, repeat until a full round
+  makes no progress.
+* :class:`SuccessiveHalving` -- rank all candidates on a cheap scaled-down
+  proxy suite, keep the top ``1/eta``, grow the proxy, and only evaluate the
+  survivors at full scale.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dse.pareto import OBJECTIVES, best_record, objective_value
+from repro.dse.space import AXES
+
+#: CLI names of the built-in strategies.
+STRATEGY_NAMES = ("grid", "random", "greedy", "halving")
+
+
+@dataclass
+class StrategyResult:
+    """Outcome of one exploration run."""
+
+    #: Name of the strategy that produced the result.
+    strategy: str
+    #: Every record evaluated (or replayed), in exploration order.
+    records: List[object]
+    #: The best record under the strategy's objective (None if all points
+    #: belonged to other shards).
+    best: Optional[object]
+    #: Per-round trace (strategy-specific dictionaries, for reports).
+    trace: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def evaluated(self) -> List[object]:
+        """Records excluding shard-foreign placeholders."""
+
+        return [record for record in self.records if record is not None]
+
+
+class Strategy:
+    """Base class: a name, shardability, and a :meth:`run` over a runner."""
+
+    name = "base"
+    #: Whether the strategy's point set is independent of earlier results
+    #: (only then can shards partition the work without seeing each other's
+    #: evaluations).
+    shardable = False
+
+    def __init__(self, metric: str = "fidelity") -> None:
+        if metric not in OBJECTIVES:
+            raise ValueError(f"unknown objective {metric!r}; "
+                             f"expected one of {OBJECTIVES}")
+        self.metric = metric
+
+    def run(self, runner) -> StrategyResult:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _result(self, records: List[object],
+                trace: Optional[List[Dict[str, object]]] = None) -> StrategyResult:
+        live = [record for record in records if record is not None]
+        return StrategyResult(
+            strategy=self.name,
+            records=records,
+            best=best_record(live, self.metric),
+            trace=trace or [],
+        )
+
+
+class ExhaustiveGrid(Strategy):
+    """Evaluate every point of the space, in enumeration order."""
+
+    name = "grid"
+    shardable = True
+
+    def run(self, runner) -> StrategyResult:
+        records = runner.evaluate(list(runner.space.points()))
+        return self._result(records)
+
+
+class RandomSampling(Strategy):
+    """Evaluate a seeded random subset of the grid.
+
+    ``samples`` points are drawn without replacement and evaluated in
+    enumeration order (so the executed batch is a sub-grid: deterministic,
+    shardable, and maximally cache-friendly).
+    """
+
+    name = "random"
+    shardable = True
+
+    def __init__(self, samples: int, seed: int = 0, metric: str = "fidelity") -> None:
+        super().__init__(metric)
+        if samples < 1:
+            raise ValueError("samples must be a positive integer")
+        self.samples = samples
+        self.seed = seed
+
+    def run(self, runner) -> StrategyResult:
+        all_points = list(runner.space.points())
+        rng = random.Random(self.seed)
+        count = min(self.samples, len(all_points))
+        chosen = sorted(rng.sample(range(len(all_points)), count))
+        records = runner.evaluate([all_points[index] for index in chosen])
+        trace = [{"round": 0, "sampled": count, "of": len(all_points)}]
+        return self._result(records, trace)
+
+
+class CoordinateDescent(Strategy):
+    """Greedy hill-climb: optimise one axis at a time until converged.
+
+    From a seeded start point, each round sweeps the axes in declaration
+    order; for every axis the strategy evaluates all candidate values (other
+    coordinates fixed) and moves to the best.  Converged when a full round
+    moves nothing.  Already-evaluated points replay from the store, so the
+    climb costs far fewer simulations than the grid whenever axes interact
+    weakly.
+    """
+
+    name = "greedy"
+    shardable = False
+
+    def __init__(self, seed: int = 0, metric: str = "fidelity",
+                 max_rounds: int = 10) -> None:
+        super().__init__(metric)
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be a positive integer")
+        self.seed = seed
+        self.max_rounds = max_rounds
+
+    def run(self, runner) -> StrategyResult:
+        space = runner.space
+        rng = random.Random(self.seed)
+        coords = {axis: rng.choice(space.axis_values(axis)) for axis in AXES}
+
+        all_records: List[object] = []
+        trace: List[Dict[str, object]] = []
+        current = runner.evaluate([space.point_for(coords)])[0]
+        all_records.append(current)
+        for round_index in range(self.max_rounds):
+            moved = False
+            for axis in AXES:
+                values = space.axis_values(axis)
+                if len(values) == 1:
+                    continue
+                candidates = []
+                for value in values:
+                    candidate = dict(coords)
+                    candidate[axis] = value
+                    candidates.append(space.point_for(candidate))
+                records = runner.evaluate(candidates)
+                all_records.extend(records)
+                best_index = max(range(len(records)),
+                                 key=lambda i: objective_value(records[i], self.metric))
+                if values[best_index] != coords[axis]:
+                    if objective_value(records[best_index], self.metric) > \
+                            objective_value(current, self.metric):
+                        coords[axis] = values[best_index]
+                        current = records[best_index]
+                        moved = True
+                trace.append({"round": round_index, "axis": axis,
+                              "value": coords[axis],
+                              "score": objective_value(current, self.metric)})
+            if not moved:
+                break
+
+        result = self._result(all_records, trace)
+        result.best = current  # the climb's endpoint, not a global re-scan
+        return result
+
+
+class SuccessiveHalving(Strategy):
+    """Rank candidates on a cheap scaled-down proxy, halve, then go full scale.
+
+    Every architectural point is first scored with its application rebuilt at
+    ``proxy_qubits`` (a structurally identical small-suite instance -- the
+    16-qubit suites used throughout the tests and benches).  The top
+    ``1/eta`` fraction survives; the proxy size doubles each rung; the final
+    survivors are evaluated at the space's true size.  Proxy evaluations are
+    ordinary design points, so they persist in the store and are shared
+    across strategies and reruns.
+    """
+
+    name = "halving"
+    shardable = False
+
+    def __init__(self, seed: int = 0, metric: str = "fidelity", eta: int = 2,
+                 proxy_qubits: int = 12, min_survivors: int = 1) -> None:
+        super().__init__(metric)
+        if eta < 2:
+            raise ValueError("eta must be at least 2")
+        if proxy_qubits < 8:
+            raise ValueError("proxy_qubits must be at least 8 "
+                             "(the smallest scaled suite)")
+        if min_survivors < 1:
+            raise ValueError("min_survivors must be positive")
+        self.seed = seed
+        self.eta = eta
+        self.proxy_qubits = proxy_qubits
+        self.min_survivors = min_survivors
+
+    def run(self, runner) -> StrategyResult:
+        space = runner.space
+        candidates = list(space.points())
+        full_sizes = {qubits for qubits in space.qubits}
+        # The proxy ladder only makes sense below the true size; None means
+        # "application default" (paper scale, 64-78 qubits).
+        size_cap = min((qubits for qubits in full_sizes if qubits is not None),
+                       default=None)
+
+        all_records: List[object] = []
+        trace: List[Dict[str, object]] = []
+        size = self.proxy_qubits
+        rung = 0
+        while len(candidates) > self.min_survivors and \
+                (size_cap is None or size < size_cap):
+            proxies = [point.with_qubits(size) for point in candidates]
+            records = runner.evaluate(proxies)
+            all_records.extend(records)
+            ranked = sorted(range(len(candidates)),
+                            key=lambda i: (-objective_value(records[i], self.metric), i))
+            keep = max(self.min_survivors,
+                       math.ceil(len(candidates) / self.eta))
+            survivors = sorted(ranked[:keep])
+            trace.append({"rung": rung, "proxy_qubits": size,
+                          "candidates": len(candidates), "kept": keep})
+            candidates = [candidates[i] for i in survivors]
+            size *= 2
+            rung += 1
+
+        finals = runner.evaluate(candidates)
+        all_records.extend(finals)
+        trace.append({"rung": rung, "proxy_qubits": None,
+                      "candidates": len(candidates), "kept": len(candidates)})
+        result = self._result(all_records, trace)
+        result.best = best_record([r for r in finals if r is not None], self.metric)
+        return result
+
+
+def make_strategy(name: str, *, seed: int = 0, metric: str = "fidelity",
+                  samples: Optional[int] = None,
+                  proxy_qubits: int = 12) -> Strategy:
+    """Build a strategy from its CLI name and knobs."""
+
+    if name == "grid":
+        return ExhaustiveGrid(metric=metric)
+    if name == "random":
+        if samples is None:
+            raise ValueError("random sampling needs --samples")
+        return RandomSampling(samples, seed=seed, metric=metric)
+    if name == "greedy":
+        return CoordinateDescent(seed=seed, metric=metric)
+    if name == "halving":
+        return SuccessiveHalving(seed=seed, metric=metric,
+                                 proxy_qubits=proxy_qubits)
+    raise ValueError(f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}")

@@ -8,19 +8,31 @@ plotted with external tooling.
 """
 
 from repro.io.serialization import (
+    SCHEMA_VERSION,
+    check_schema_version,
+    config_from_dict,
+    config_to_dict,
+    figure_bundle_to_dict,
+    load_json,
+    model_from_dict,
+    model_to_dict,
     program_to_dict,
+    records_to_json,
     result_to_dict,
     save_json,
-    load_json,
-    figure_bundle_to_dict,
-    records_to_json,
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "check_schema_version",
+    "config_from_dict",
+    "config_to_dict",
+    "figure_bundle_to_dict",
+    "load_json",
+    "model_from_dict",
+    "model_to_dict",
     "program_to_dict",
+    "records_to_json",
     "result_to_dict",
     "save_json",
-    "load_json",
-    "figure_bundle_to_dict",
-    "records_to_json",
 ]

@@ -49,6 +49,40 @@ def circuit_fingerprint(circuit: Circuit) -> str:
     return digest
 
 
+def design_point_fingerprint(circuit: Circuit, config) -> str:
+    """Stable identity of one design point: circuit structure x architecture.
+
+    Keys the :class:`~repro.dse.store.ExperimentStore`: a point evaluated
+    once is never recomputed, regardless of how its spec was written down
+    (suite circuit object, ``--space`` JSON, shard split, ...).  The digest
+    covers the circuit's structural fingerprint, every architecture knob and
+    every physical-model constant (floats rendered with ``float.hex`` so two
+    points are identical only when every model parameter is bit-identical).
+    """
+
+    import dataclasses
+
+    def _flatten(prefix: str, value, parts) -> None:
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            for field in dataclasses.fields(value):
+                _flatten(f"{prefix}.{field.name}", getattr(value, field.name), parts)
+        elif isinstance(value, float):
+            parts.append(f"{prefix}={value.hex()}")
+        else:
+            parts.append(f"{prefix}={value!r}")
+
+    parts = [
+        circuit_fingerprint(circuit),
+        f"topology={config.topology}",
+        f"trap_capacity={config.trap_capacity}",
+        f"gate={config.gate}",
+        f"reorder={config.reorder}",
+        f"buffer_ions={config.buffer_ions}",
+    ]
+    _flatten("model", config.model, parts)
+    return _digest("\n".join(parts))
+
+
 def operation_signature(op) -> str:
     """Canonical one-line rendering of a primitive operation.
 

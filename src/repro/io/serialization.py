@@ -25,9 +25,42 @@ from typing import Dict, Iterable, List
 
 from repro.isa.operations import OpKind
 from repro.isa.program import QCCDProgram
+from repro.models.params import (
+    FidelityParams,
+    HeatingParams,
+    PhysicalModel,
+    ShuttleTimes,
+    SingleQubitParams,
+)
 from repro.sim.results import SimulationResult
 from repro.toolflow.config import ArchitectureConfig
 from repro.toolflow.runner import ExperimentRecord
+
+#: Version stamped into every persisted payload (programs, results, figure
+#: bundles, experiment-store rows).  Bump when a field changes meaning or is
+#: removed; pure additions do not require a bump.  Loaders accept any version
+#: up to and including this one (missing = 0, the pre-versioned format).
+SCHEMA_VERSION = 1
+
+
+def check_schema_version(payload: Dict, *, source: str = "payload") -> int:
+    """Validate a payload's ``schema_version`` against what this build reads.
+
+    Returns the payload's version (``0`` for pre-versioned artefacts, which
+    are always accepted).  Raises ``ValueError`` for payloads written by a
+    *newer* schema than this build understands -- silently misreading a field
+    is worse than a loud failure.
+    """
+
+    version = payload.get("schema_version", 0)
+    if not isinstance(version, int) or version < 0:
+        raise ValueError(f"{source}: malformed schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{source}: schema_version {version} is newer than the supported "
+            f"version {SCHEMA_VERSION}; upgrade the toolflow to read it"
+        )
+    return version
 
 
 def _jsonify(value):
@@ -66,6 +99,7 @@ def program_to_dict(program: QCCDProgram) -> Dict:
             entry[field.name] = _jsonify(getattr(op, field.name))
         operations.append(entry)
     return {
+        "schema_version": SCHEMA_VERSION,
         "circuit": program.circuit_name,
         "device": program.device_name,
         "metadata": _jsonify(program.metadata),
@@ -88,6 +122,7 @@ def result_to_dict(result: SimulationResult, include_timeline: bool = False) -> 
     """Serialise a simulation result's metrics (optionally with its timeline)."""
 
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "circuit": result.circuit_name,
         "device": result.device_name,
         "duration_us": result.duration,
@@ -121,6 +156,7 @@ def records_to_json(records: Iterable[ExperimentRecord]) -> List[Dict]:
     rows = []
     for record in records:
         row = {
+            "schema_version": SCHEMA_VERSION,
             "application": record.application,
             "config": _config_to_dict(record.config),
             "program_ops": record.program_size,
@@ -142,13 +178,59 @@ def _config_to_dict(config: ArchitectureConfig) -> Dict:
     }
 
 
+def model_to_dict(model: PhysicalModel) -> Dict:
+    """Serialise every physical-model constant (nested, by sub-model)."""
+
+    return _jsonify(model)
+
+
+def model_from_dict(payload: Dict) -> PhysicalModel:
+    """Rebuild a :class:`PhysicalModel` from :func:`model_to_dict` output."""
+
+    return PhysicalModel(
+        shuttle=ShuttleTimes(**payload["shuttle"]),
+        heating=HeatingParams(**payload["heating"]),
+        fidelity=FidelityParams(**payload["fidelity"]),
+        single_qubit=SingleQubitParams(**payload["single_qubit"]),
+    )
+
+
+def config_to_dict(config: ArchitectureConfig, *, include_model: bool = False) -> Dict:
+    """Serialise an architecture config, optionally with its physical model.
+
+    The model is included wherever the dictionary must round-trip back to an
+    equivalent config (the DSE experiment store); report-style outputs keep
+    the compact model-free form.
+    """
+
+    payload = _config_to_dict(config)
+    if include_model:
+        payload["model"] = model_to_dict(config.model)
+    return payload
+
+
+def config_from_dict(payload: Dict) -> ArchitectureConfig:
+    """Rebuild an :class:`ArchitectureConfig` from :func:`config_to_dict`."""
+
+    model = (model_from_dict(payload["model"]) if "model" in payload
+             else PhysicalModel())
+    return ArchitectureConfig(
+        topology=payload["topology"],
+        trap_capacity=payload["trap_capacity"],
+        gate=payload["gate"],
+        reorder=payload["reorder"],
+        buffer_ions=payload["buffer_ions"],
+        model=model,
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Figure bundles
 # --------------------------------------------------------------------------- #
 def figure_bundle_to_dict(bundle: Dict) -> Dict:
     """Serialise a figure6/figure7/figure8 bundle (configs become dicts)."""
 
-    payload = {}
+    payload = {"schema_version": SCHEMA_VERSION}
     for key, value in bundle.items():
         if isinstance(value, ArchitectureConfig):
             payload[key] = _config_to_dict(value)

@@ -8,7 +8,8 @@ paper reports:
 * :mod:`~repro.toolflow.runner` -- compile-and-simulate drivers, including the
   gate-implementation fan-out that reuses one compilation across AM1/AM2/PM/FM.
 * :mod:`~repro.toolflow.sweep` -- parameter sweeps over capacities, topologies
-  and microarchitecture combinations.
+  and microarchitecture combinations, expressed as :mod:`repro.dse` design
+  spaces and routed through an experiment store (resumable when persistent).
 * :mod:`~repro.toolflow.parallel` -- the sweep executor: compiled-program
   memoization (:class:`ProgramCache`) and deterministic multi-process fan-out
   (:func:`run_tasks`), shared by every sweep and figure driver.
@@ -18,7 +19,8 @@ paper reports:
 """
 
 from repro.toolflow.config import ArchitectureConfig
-from repro.toolflow.parallel import ProgramCache, SweepTask, execute_task, run_tasks
+from repro.toolflow.parallel import (ProgramCache, SweepTask, execute_task,
+                                     iter_tasks, run_tasks)
 from repro.toolflow.runner import ExperimentRecord, run_experiment, run_gate_variants
 from repro.toolflow.sweep import sweep_capacity, sweep_topologies, sweep_microarchitecture
 from repro.toolflow.figures import figure6, figure7, figure8
@@ -30,6 +32,7 @@ __all__ = [
     "ProgramCache",
     "SweepTask",
     "execute_task",
+    "iter_tasks",
     "run_tasks",
     "run_experiment",
     "run_gate_variants",

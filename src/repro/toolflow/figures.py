@@ -16,8 +16,11 @@ versions for tests and benchmarks.
 All three drivers delegate to the sweeps in :mod:`repro.toolflow.sweep` and
 therefore accept ``jobs`` (parallel worker processes; 1 = serial) and
 ``cache`` (a shared :class:`~repro.toolflow.parallel.ProgramCache`, so e.g.
-regenerating Figure 6 after Figure 7 reuses every L6 compilation).  The
-assembled series are identical for every ``jobs`` value.
+regenerating Figure 6 after Figure 7 reuses every L6 compilation).  They
+also accept ``store`` (a persistent :class:`~repro.dse.store.ExperimentStore`),
+which makes a figure regeneration resumable: design points already in the
+store are replayed from disk bit-identically instead of recomputed.  The
+assembled series are identical for every ``jobs`` value and store state.
 """
 
 from __future__ import annotations
@@ -70,7 +73,8 @@ def figure6(suite: Optional[Dict[str, Circuit]] = None,
             capacities: Sequence[int] = PAPER_CAPACITIES,
             base: Optional[ArchitectureConfig] = None, *,
             jobs: int = 1,
-            cache: Optional[ProgramCache] = None) -> Dict[str, object]:
+            cache: Optional[ProgramCache] = None,
+            store=None) -> Dict[str, object]:
     """Trap-sizing study (Figure 6a-g).
 
     Returns a dictionary with keys ``capacities``, ``runtime_s``, ``fidelity``,
@@ -87,7 +91,7 @@ def figure6(suite: Optional[Dict[str, Circuit]] = None,
     supremacy_error = {"motional": [], "background": []}
 
     records = iter(sweep_capacity(suite, capacities=capacities, base=base,
-                                  jobs=jobs, cache=cache))
+                                  jobs=jobs, cache=cache, store=store))
     # Records come back in sweep-enumeration order (capacity-major, then
     # suite order), so walk the same loops to recover the suite keys.
     for capacity in capacities:
@@ -119,7 +123,8 @@ def figure7(suite: Optional[Dict[str, Circuit]] = None,
             topologies: Sequence[str] = ("L6", "G2x3"),
             base: Optional[ArchitectureConfig] = None, *,
             jobs: int = 1,
-            cache: Optional[ProgramCache] = None) -> Dict[str, object]:
+            cache: Optional[ProgramCache] = None,
+            store=None) -> Dict[str, object]:
     """Topology study (Figure 7a-g).
 
     Returns ``capacities``, ``topologies``, ``runtime_s``, ``fidelity`` (both
@@ -138,7 +143,8 @@ def figure7(suite: Optional[Dict[str, Circuit]] = None,
     heating: Dict[str, List[float]] = {topology: [] for topology in topologies}
 
     records = iter(sweep_topologies(suite, topologies=topologies, capacities=capacities,
-                                    base=base, jobs=jobs, cache=cache))
+                                    base=base, jobs=jobs, cache=cache,
+                                    store=store))
     for topology in topologies:
         for capacity in capacities:
             for name in suite:
@@ -165,7 +171,8 @@ def figure8(suite: Optional[Dict[str, Circuit]] = None,
             reorders: Iterable[str] = PAPER_REORDERS,
             base: Optional[ArchitectureConfig] = None, *,
             jobs: int = 1,
-            cache: Optional[ProgramCache] = None) -> Dict[str, object]:
+            cache: Optional[ProgramCache] = None,
+            store=None) -> Dict[str, object]:
     """Microarchitecture study (Figure 8a-l).
 
     Returns ``capacities``, ``combos`` (e.g. ``"FM-GS"``), ``fidelity`` and
@@ -189,7 +196,8 @@ def figure8(suite: Optional[Dict[str, Circuit]] = None,
 
     records = iter(sweep_microarchitecture(suite, capacities=capacities, gates=gates,
                                            reorders=reorders, base=base,
-                                           jobs=jobs, cache=cache))
+                                           jobs=jobs, cache=cache,
+                                           store=store))
     for reorder in reorders:
         for capacity in capacities:
             for name in suite:

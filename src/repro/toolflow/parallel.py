@@ -176,16 +176,22 @@ def _worker_execute(task: SweepTask) -> List[ExperimentRecord]:
     return execute_task(task, _WORKER_CACHE)
 
 
-def run_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
-              cache: Optional[ProgramCache] = None) -> List[List[ExperimentRecord]]:
-    """Execute sweep ``tasks``, returning per-task record lists in task order.
+def iter_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
+               cache: Optional[ProgramCache] = None):
+    """Execute sweep ``tasks``, yielding per-task record lists in task order.
+
+    The streaming counterpart of :func:`run_tasks`: each task's records are
+    yielded as soon as that task (and every task before it) has finished, so
+    consumers can checkpoint incrementally -- the DSE experiment store
+    persists each design point the moment it completes, which is what makes
+    killed sweeps resumable at point granularity.
 
     Parameters
     ----------
     jobs:
         Worker processes.  ``1`` (default) executes serially in-process --
         no pickling, shared ``cache``.  Larger values fan out to a process
-        pool; record order is still the submission order, so results are
+        pool; yield order is still the submission order, so results are
         deterministic regardless of ``jobs``.
     cache:
         Compiled-program cache for the serial path (one is created when not
@@ -198,10 +204,22 @@ def run_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
         raise ValueError("jobs must be a positive integer")
     if jobs == 1 or len(tasks) <= 1:
         cache = cache if cache is not None else ProgramCache()
-        return [execute_task(task, cache) for task in tasks]
+        for task in tasks:
+            yield execute_task(task, cache)
+        return
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         chunksize = max(1, len(tasks) // (4 * jobs))
-        return list(pool.map(_worker_execute, tasks, chunksize=chunksize))
+        yield from pool.map(_worker_execute, tasks, chunksize=chunksize)
+
+
+def run_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
+              cache: Optional[ProgramCache] = None) -> List[List[ExperimentRecord]]:
+    """Execute sweep ``tasks``, returning per-task record lists in task order.
+
+    See :func:`iter_tasks` (this is its materialised form).
+    """
+
+    return list(iter_tasks(tasks, jobs=jobs, cache=cache))
 
 
 def flatten(per_task_records: List[List[ExperimentRecord]]) -> List[ExperimentRecord]:

@@ -60,6 +60,7 @@ class ExperimentRecord:
                 "capacity": self.config.trap_capacity,
                 "gate": self.config.gate,
                 "reorder": self.config.reorder,
+                "buffer": self.config.buffer_ions,
                 "program_ops": self.program_size,
                 "shuttles": self.num_shuttles,
             }

@@ -1,16 +1,19 @@
 """Parameter sweeps over the QCCD design space.
 
-Thin, composable wrappers around the sweep executor in
-:mod:`repro.toolflow.parallel` that enumerate the paper's sweep axes: trap
-capacity, communication topology and microarchitecture (gate implementation x
-reordering method).  Each sweep returns a flat list of
-:class:`~repro.toolflow.runner.ExperimentRecord` in a deterministic order
-that is independent of the worker count.
+The paper's sweep axes -- trap capacity, communication topology and
+microarchitecture (gate implementation x reordering method) -- are expressed
+as :class:`~repro.dse.space.DesignSpace` specs and executed through the
+design-space exploration engine (:mod:`repro.dse`): every sweep routes its
+points through an :class:`~repro.dse.store.ExperimentStore` (an ephemeral
+in-memory one by default), so passing a persistent ``store`` makes any sweep
+resumable and dedupes design points shared between figures.  Execution still
+fans out through :mod:`repro.toolflow.parallel`, so ``jobs`` and ``cache``
+behave exactly as before and each sweep returns a flat record list in a
+deterministic order that is independent of the worker count.
 
-All three sweeps accept ``jobs`` (worker processes; 1 = serial) and ``cache``
-(a :class:`~repro.toolflow.parallel.ProgramCache` reused across calls so
-overlapping sweeps -- e.g. Figure 6 and the L6 half of Figure 7 -- share
-compilations).
+Records are :class:`~repro.toolflow.runner.ExperimentRecord` when computed in
+this process and interchangeable :class:`~repro.dse.store.CachedRecord` views
+when replayed from a persistent store; both carry bit-identical metrics.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.ir.circuit import Circuit
 from repro.toolflow.config import ArchitectureConfig
-from repro.toolflow.parallel import ProgramCache, SweepTask, flatten, run_tasks
+from repro.toolflow.parallel import ProgramCache
 from repro.toolflow.runner import ExperimentRecord
 
 #: Capacities evaluated in the paper's figures.
@@ -32,20 +35,38 @@ PAPER_GATES = ("AM1", "AM2", "PM", "FM")
 PAPER_REORDERS = ("GS", "IS")
 
 
+def _run_space(circuits: Dict[str, Circuit], space, *, jobs: int,
+               cache: Optional[ProgramCache], store) -> List[ExperimentRecord]:
+    """Evaluate a space over pre-built suite circuits, in enumeration order."""
+
+    from repro.dse.runner import DSERunner
+
+    runner = DSERunner(space, store=store, circuits=circuits, jobs=jobs,
+                       cache=cache)
+    return runner.evaluate_space()
+
+
 def sweep_capacity(circuits: Dict[str, Circuit],
                    capacities: Sequence[int] = PAPER_CAPACITIES,
                    base: Optional[ArchitectureConfig] = None, *,
                    jobs: int = 1,
-                   cache: Optional[ProgramCache] = None) -> List[ExperimentRecord]:
+                   cache: Optional[ProgramCache] = None,
+                   store=None) -> List[ExperimentRecord]:
     """Sweep the trap capacity for every application (Figure 6 axis)."""
 
+    from repro.dse.space import DesignSpace
+
     base = base or ArchitectureConfig()
-    tasks = [
-        SweepTask(circuit, base.with_updates(trap_capacity=capacity))
-        for capacity in capacities
-        for circuit in circuits.values()
-    ]
-    return flatten(run_tasks(tasks, jobs=jobs, cache=cache))
+    space = DesignSpace(
+        apps=tuple(circuits),
+        capacities=tuple(capacities),
+        topologies=(base.topology,),
+        gates=(base.gate,),
+        reorders=(base.reorder,),
+        buffers=(base.buffer_ions,),
+        model=base.model,
+    )
+    return _run_space(circuits, space, jobs=jobs, cache=cache, store=store)
 
 
 def sweep_topologies(circuits: Dict[str, Circuit],
@@ -53,17 +74,23 @@ def sweep_topologies(circuits: Dict[str, Circuit],
                      capacities: Sequence[int] = PAPER_CAPACITIES,
                      base: Optional[ArchitectureConfig] = None, *,
                      jobs: int = 1,
-                     cache: Optional[ProgramCache] = None) -> List[ExperimentRecord]:
+                     cache: Optional[ProgramCache] = None,
+                     store=None) -> List[ExperimentRecord]:
     """Sweep topology x capacity for every application (Figure 7 axes)."""
 
+    from repro.dse.space import DesignSpace
+
     base = base or ArchitectureConfig()
-    tasks = [
-        SweepTask(circuit, base.with_updates(topology=topology, trap_capacity=capacity))
-        for topology in topologies
-        for capacity in capacities
-        for circuit in circuits.values()
-    ]
-    return flatten(run_tasks(tasks, jobs=jobs, cache=cache))
+    space = DesignSpace(
+        apps=tuple(circuits),
+        capacities=tuple(capacities),
+        topologies=tuple(topologies),
+        gates=(base.gate,),
+        reorders=(base.reorder,),
+        buffers=(base.buffer_ions,),
+        model=base.model,
+    )
+    return _run_space(circuits, space, jobs=jobs, cache=cache, store=store)
 
 
 def sweep_microarchitecture(circuits: Dict[str, Circuit],
@@ -72,24 +99,32 @@ def sweep_microarchitecture(circuits: Dict[str, Circuit],
                             reorders: Iterable[str] = PAPER_REORDERS,
                             base: Optional[ArchitectureConfig] = None, *,
                             jobs: int = 1,
-                            cache: Optional[ProgramCache] = None) -> List[ExperimentRecord]:
+                            cache: Optional[ProgramCache] = None,
+                            store=None) -> List[ExperimentRecord]:
     """Sweep gate implementation x reordering x capacity (Figure 8 axes).
 
     The compiled program is shared across gate implementations for each
-    (application, capacity, reorder) triple.
+    (application, capacity, reorder) triple: the space enumerates gates
+    innermost, which the DSE runner folds into single-compilation tasks.
     """
 
+    from repro.dse.space import DesignSpace
+
     base = base or ArchitectureConfig()
-    gates = tuple(gates)
-    tasks = [
-        SweepTask(circuit,
-                  base.with_updates(trap_capacity=capacity, reorder=reorder),
-                  gates=gates)
-        for reorder in reorders
-        for capacity in capacities
-        for circuit in circuits.values()
-    ]
-    return flatten(run_tasks(tasks, jobs=jobs, cache=cache))
+    space = DesignSpace(
+        apps=tuple(circuits),
+        capacities=tuple(capacities),
+        topologies=(base.topology,),
+        gates=tuple(gates),
+        reorders=tuple(reorders),
+        buffers=(base.buffer_ions,),
+        model=base.model,
+        # Figure 8 enumerates reorder-major (GS block then IS block), with
+        # the gate variants of one compilation innermost.
+        order=("topology", "reorder", "capacity", "buffer", "qubits", "app",
+               "gate"),
+    )
+    return _run_space(circuits, space, jobs=jobs, cache=cache, store=store)
 
 
 def records_to_rows(records: Iterable[ExperimentRecord]) -> List[Dict[str, object]]:
