@@ -29,12 +29,21 @@ Custom design-space studies run through the ``dse`` family (quickstart)::
     python -m repro dse run ... --store runs/study --shard 1/2
     python -m repro dse run ... --store runs/study --shard 2/2
 
+    # Or let the dispatcher lease shards to worker processes: workers
+    # heartbeat their lease, a killed worker's shard is reclaimed by the
+    # survivors, and the merged store exports byte-identically to a serial
+    # run of the same space:
+    python -m repro dse dispatch --apps QFT,BV --capacities 14,18,22 \\
+        --store runs/study --workers 3
+    python -m repro dse dispatch ... --print-only   # remote machines: run
+    python -m repro dse worker --store runs/study   # one of these per host
+
     # Adaptive search instead of the full grid:
     python -m repro dse run --space space.json --store runs/study \\
         --strategy greedy --seed 7 --metric fidelity
 
     # Inspect, rank, export:
-    python -m repro dse status --store runs/study
+    python -m repro dse status --store runs/study --eta
     python -m repro dse pareto --store runs/study --app qft16
     python -m repro dse export --store runs/study --output study.json
 
@@ -179,8 +188,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_space_arguments(parser: argparse.ArgumentParser) -> None:
+    """Design-space flags shared by ``dse run`` and ``dse dispatch``."""
+
+    parser.add_argument("--space", default=None,
+                        help="JSON design-space spec file (overrides axis flags)")
+    parser.add_argument("--apps", type=_comma_list, default=None,
+                        help="comma-separated application names (e.g. QFT,BV)")
+    parser.add_argument("--qubits", type=_comma_ints, default=None,
+                        help="comma-separated application sizes (default: paper scale)")
+    parser.add_argument("--topologies", type=_comma_list, default=("L6",),
+                        help="comma-separated topology names (default: L6)")
+    parser.add_argument("--capacities", type=_comma_ints,
+                        default=(14, 18, 22, 26, 30, 34),
+                        help="comma-separated trap capacities (default: paper sweep)")
+    parser.add_argument("--gates", type=_comma_list, default=("FM",),
+                        help="comma-separated gate implementations (default: FM)")
+    parser.add_argument("--reorders", type=_comma_list, default=("GS",),
+                        help="comma-separated reorder methods (default: GS)")
+    parser.add_argument("--buffers", type=_comma_ints, default=(2,),
+                        help="comma-separated buffer sizes (default: 2)")
+
+
 def _add_dse_parsers(subparsers) -> None:
-    """The ``dse`` family: run / status / pareto / export."""
+    """The ``dse`` family: run / dispatch / worker / status / pareto / export."""
 
     dse = subparsers.add_parser(
         "dse",
@@ -197,22 +228,7 @@ def _add_dse_parsers(subparsers) -> None:
                "qubits, topologies, capacities, gates, reorders, buffers) or "
                "from the axis flags below.  All strategies are deterministic "
                "under a fixed --seed for any --jobs or shard split.")
-    run.add_argument("--space", default=None,
-                     help="JSON design-space spec file (overrides axis flags)")
-    run.add_argument("--apps", type=_comma_list, default=None,
-                     help="comma-separated application names (e.g. QFT,BV)")
-    run.add_argument("--qubits", type=_comma_ints, default=None,
-                     help="comma-separated application sizes (default: paper scale)")
-    run.add_argument("--topologies", type=_comma_list, default=("L6",),
-                     help="comma-separated topology names (default: L6)")
-    run.add_argument("--capacities", type=_comma_ints, default=(14, 18, 22, 26, 30, 34),
-                     help="comma-separated trap capacities (default: paper sweep)")
-    run.add_argument("--gates", type=_comma_list, default=("FM",),
-                     help="comma-separated gate implementations (default: FM)")
-    run.add_argument("--reorders", type=_comma_list, default=("GS",),
-                     help="comma-separated reorder methods (default: GS)")
-    run.add_argument("--buffers", type=_comma_ints, default=(2,),
-                     help="comma-separated buffer sizes (default: 2)")
+    _add_space_arguments(run)
     run.add_argument("--store", default=None,
                      help="experiment-store directory (omit for a one-off "
                           "in-memory run)")
@@ -236,11 +252,67 @@ def _add_dse_parsers(subparsers) -> None:
                      help="rows to print in the summary table (default: 5)")
     run.add_argument("--output", default=None, help="write the records as JSON")
 
+    dispatch = dse_sub.add_parser(
+        "dispatch",
+        help="run a design space through leased shards and worker processes",
+        description="Partition the space into M leased shards and drive N "
+                    "worker processes to completion.  Workers coordinate "
+                    "through lease files inside the store directory: claims "
+                    "are atomic, heartbeats renew a lease, and an expired "
+                    "lease (dead worker) is reclaimed by a surviving worker, "
+                    "so a killed worker costs at most one shard of redone "
+                    "work -- never data.  The merged store exports "
+                    "byte-identically to a single-process run.")
+    _add_space_arguments(dispatch)
+    dispatch.add_argument("--store", required=True,
+                          help="experiment-store directory shared by all "
+                               "workers (dedicated to this study)")
+    dispatch.add_argument("--workers", type=_positive_int, default=2,
+                          help="local worker processes (default: 2)")
+    dispatch.add_argument("--shards", type=_positive_int, default=None,
+                          help="lease granularity (default: 4x workers)")
+    dispatch.add_argument("--ttl-s", type=_positive_float, default=None,
+                          help="lease time-to-live in seconds; must exceed "
+                               "the slowest task group (one compile plus all "
+                               "its gate-variant simulations; default: 60)")
+    dispatch.add_argument("--jobs", type=_positive_int, default=1,
+                          help="process-pool width inside each worker "
+                               "(default: 1)")
+    dispatch.add_argument("--throttle-s", type=_positive_float, default=None,
+                          help="sleep this long after each completed task "
+                               "group in every worker (load limiter)")
+    dispatch.add_argument("--timeout-s", type=_positive_float, default=None,
+                          help="abort the dispatch after this many seconds")
+    dispatch.add_argument("--print-only", action="store_true",
+                          help="write the manifest and print the per-machine "
+                               "worker command lines instead of spawning "
+                               "local workers (remote launch)")
+
+    worker = dse_sub.add_parser(
+        "worker",
+        help="join a dispatched run as one worker (internal/remote entry)",
+        description="Lease shards from a prepared dispatch (see `repro dse "
+                    "dispatch`) until every shard is done.  Run one of these "
+                    "per machine against a shared store directory.")
+    worker.add_argument("--store", required=True,
+                        help="experiment-store directory with a dispatch.json")
+    worker.add_argument("--owner", default=None,
+                        help="lease-owner identity (default: <host>-pid<pid>)")
+    worker.add_argument("--jobs", type=_positive_int, default=None,
+                        help="override the manifest's per-worker jobs")
+
     status = dse_sub.add_parser("status", help="summarise an experiment store")
     status.add_argument("--store", required=True, help="experiment-store directory")
     status.add_argument("--space", default=None,
                         help="JSON spec: additionally report completed/pending "
                              "points of this space")
+    status.add_argument("--eta", action="store_true",
+                        help="estimate remaining wall time from stored "
+                             "per-point wall_s timings (pending points come "
+                             "from --space or the store's dispatch manifest)")
+    status.add_argument("--workers", type=_positive_int, default=None,
+                        help="assume this many active workers for --eta "
+                             "(default: active leases, else 1)")
 
     pareto = dse_sub.add_parser(
         "pareto", help="fidelity-vs-runtime Pareto frontier of a store")
@@ -474,14 +546,130 @@ def _cmd_dse_status(args) -> int:
         apps[record.application] = apps.get(record.application, 0) + 1
     for app, count in sorted(apps.items()):
         print(f"  {app:24s} {count} points")
+
+    timings = store.wall_timings()
+    if timings:
+        mean_s = sum(timings) / len(timings)
+        print(f"Timings: {len(timings)}/{len(store)} rows carry wall_s, "
+              f"mean {mean_s:.3f} s/point")
+
+    space = None
+    space_label = None
     if args.space:
         namespace = argparse.Namespace(space=args.space, apps=None)
         space = _space_from_args(namespace)
+        space_label = args.space
+    pending = None
+    if space is not None:
         runner = DSERunner(space, store=store)
         pending = sum(1 for point in space.points()
                       if runner.fingerprint(point) not in store)
-        print(f"\nSpace {args.space}: {space.size - pending}/{space.size} "
+        print(f"\nSpace {space_label}: {space.size - pending}/{space.size} "
               f"points completed, {pending} pending")
+    if getattr(args, "eta", False):
+        return _print_eta(args, store, space, pending)
+    return 0
+
+
+def _print_eta(args, store, space, pending) -> int:
+    """The ``dse status --eta`` tail: pending x mean wall_s / active workers."""
+
+    from repro.dse import DesignSpace, ShardLedger, estimate_eta_s
+    from repro.dse.dispatch import DEFAULT_TTL_S, format_eta, read_manifest
+
+    active = args.workers
+    if space is None or active is None:
+        # A dispatched store describes itself: the manifest names the space
+        # and the shard count, the ledger knows how many leases are live.
+        try:
+            manifest = read_manifest(store.directory)
+        except ValueError:
+            manifest = None
+        if manifest is not None:
+            if space is None:
+                space = DesignSpace.from_dict(manifest["space"])
+                pending = None
+            if active is None:
+                ledger = ShardLedger.for_store(
+                    store.directory, manifest["shards"],
+                    ttl_s=manifest.get("ttl_s", DEFAULT_TTL_S))
+                active = ledger.status_counts()["active"]
+    if space is None:
+        print("\nETA: unknown -- provide --space FILE (or dispatch through "
+              "`repro dse dispatch`, which records the space in the store's "
+              "manifest) so pending points can be counted", file=sys.stderr)
+        return 1
+    if pending is None:
+        # Cheap lower bound: every store row is assumed to belong to the
+        # space (dispatch stores are dedicated to one study).
+        pending = max(0, space.size - len(store))
+    active = active if active else 1
+    eta_s = estimate_eta_s(pending, store.wall_timings(), active)
+    print(f"ETA: {pending} pending points / {active} active worker(s) "
+          f"~= {format_eta(eta_s)}")
+    return 0
+
+
+def _cmd_dse_dispatch(args) -> int:
+    from repro.dse import Dispatcher
+    from repro.dse.dispatch import DEFAULT_TTL_S, format_eta
+
+    space = _space_from_args(args)
+    try:
+        dispatcher = Dispatcher(
+            space, args.store, workers=args.workers, shards=args.shards,
+            ttl_s=args.ttl_s if args.ttl_s is not None else DEFAULT_TTL_S,
+            jobs=args.jobs,
+            throttle_s=args.throttle_s if args.throttle_s is not None else 0.0)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    print(f"Design space: {space.size} points -> {dispatcher.shards} leased "
+          f"shards, {args.workers} worker(s) x {args.jobs} job(s)")
+    print(f"Store       : {dispatcher.store_dir}")
+    if args.print_only:
+        try:
+            manifest = dispatcher.prepare()
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(f"Manifest    : {manifest}")
+        print("\nLaunch one worker per machine (each must mount the store "
+              "directory):")
+        for line in dispatcher.command_lines():
+            print(f"  {line}")
+        print("\nWatch progress with "
+              f"`python -m repro dse status --store {dispatcher.store_dir} --eta`")
+        return 0
+
+    def report(progress):
+        print(f"  {progress['points_done']}/{progress['points_total']} points, "
+              f"shards {progress['shards']['done']}/{dispatcher.shards} done "
+              f"({progress['shards']['active']} active), "
+              f"ETA {format_eta(progress['eta_s'])}")
+
+    try:
+        summary = dispatcher.run(timeout_s=args.timeout_s, on_progress=report)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    status = "complete" if summary["complete"] else "INCOMPLETE"
+    print(f"\nDispatch {status}: {summary['points']} points in "
+          f"{summary['elapsed_s']:.1f} s "
+          f"(respawned {summary['respawned']} worker(s))")
+    if summary["complete"]:
+        print(f"Export with `python -m repro dse export --store "
+              f"{dispatcher.store_dir} --output study.json`")
+    return 0 if summary["complete"] else 1
+
+
+def _cmd_dse_worker(args) -> int:
+    from repro.toolflow.parallel import shard_worker
+
+    try:
+        summary = shard_worker(args.store, owner=args.owner, jobs=args.jobs)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(f"worker {summary['owner']}: completed shards "
+          f"{summary['completed'] or '[]'}, lost {summary['lost'] or '[]'}")
     return 0
 
 
@@ -513,10 +701,13 @@ def _cmd_dse_export(args) -> int:
     from repro.io import SCHEMA_VERSION
 
     store = _open_store(args.store)
+    # export_rows is canonical (fingerprint-sorted, key-sorted, volatile
+    # timings stripped): the same evaluated space exports byte-identically
+    # whether it was run serially, sharded by hand, or dispatched.
     payload = {
         "schema_version": SCHEMA_VERSION,
         "num_points": len(store),
-        "rows": store.sorted_rows(),
+        "rows": store.export_rows(),
     }
     print(f"Exporting {len(store)} points from {store.directory}")
     if not _write_json(payload, args.output):
@@ -537,11 +728,13 @@ def _open_store(path):
 
 def _cmd_dse(args, parser) -> int:
     if args.dse_command is None:
-        print("usage: repro dse {run,status,pareto,export} ... "
+        print("usage: repro dse {run,dispatch,worker,status,pareto,export} ... "
               "(see `repro dse --help`)", file=sys.stderr)
         return 1
     handlers = {
         "run": _cmd_dse_run,
+        "dispatch": _cmd_dse_dispatch,
+        "worker": _cmd_dse_worker,
         "status": _cmd_dse_status,
         "pareto": _cmd_dse_pareto,
         "export": _cmd_dse_export,

@@ -16,12 +16,29 @@ compile/simulate core:
   ``--shard i/N`` support.
 * :mod:`~repro.dse.pareto` -- best-point selection and fidelity-vs-runtime
   Pareto frontiers.
+* :mod:`~repro.dse.dispatch` -- filesystem-coordinated distributed
+  execution: a :class:`ShardLedger` of lease files (atomic claims,
+  heartbeat renewal, expiry-based reclaim of dead workers) and a
+  :class:`Dispatcher` that partitions a space into leased shards, runs
+  local worker processes (``repro dse dispatch``) or prints remote launch
+  commands, and watches progress with a ``wall_s``-driven ETA.
 
 The paper's Figures 6-8 are expressed as design spaces and executed through
 this engine (see :mod:`repro.toolflow.sweep`); ``python -m repro dse`` is the
 command-line entry point for custom studies.
 """
 
+from repro.dse.dispatch import (
+    DEFAULT_TTL_S,
+    Dispatcher,
+    LeaseLost,
+    LeaseState,
+    ShardLedger,
+    estimate_eta_s,
+    read_manifest,
+    run_worker,
+    write_manifest,
+)
 from repro.dse.pareto import (
     OBJECTIVES,
     best_record,
@@ -36,6 +53,7 @@ from repro.dse.store import (
     CachedRecord,
     CachedResult,
     ExperimentStore,
+    StoreCorruptionWarning,
     record_to_row,
     row_to_record,
 )
@@ -52,6 +70,7 @@ from repro.dse.strategies import (
 
 __all__ = [
     "AXES",
+    "DEFAULT_TTL_S",
     "OBJECTIVES",
     "STRATEGY_NAMES",
     "CachedRecord",
@@ -60,20 +79,29 @@ __all__ = [
     "DSERunner",
     "DesignPoint",
     "DesignSpace",
+    "Dispatcher",
     "ExhaustiveGrid",
     "ExperimentStore",
+    "LeaseLost",
+    "LeaseState",
     "RandomSampling",
     "Shard",
+    "ShardLedger",
+    "StoreCorruptionWarning",
     "Strategy",
     "StrategyResult",
     "SuccessiveHalving",
     "best_record",
+    "estimate_eta_s",
     "frontier_rows",
     "make_strategy",
     "objective_value",
     "pareto_frontier",
     "per_app_frontiers",
     "point_from_spec",
+    "read_manifest",
     "record_to_row",
     "row_to_record",
+    "run_worker",
+    "write_manifest",
 ]

@@ -1,0 +1,680 @@
+"""Filesystem-coordinated shard dispatch for distributed DSE runs.
+
+PR 2's :class:`~repro.dse.store.ExperimentStore` made sharded sweeps
+*mergeable* (every shard appends to its own JSONL file; the directory union
+is the result set), but shards still had to be launched by hand with
+``--shard i/N`` per machine.  This module adds the missing coordination
+layer, using nothing but the shared store directory -- no daemon, no
+database, so it works on any shared filesystem (NFS scratch space, a
+laptop's tmpdir, a CI runner):
+
+* :class:`ShardLedger` -- one lease file per shard under
+  ``<store>/leases/``.  Claims are atomic create-via-hardlink (the classic
+  lockfile idiom: ``os.link`` fails iff the lease exists); heartbeats renew
+  the lease mtime; a lease whose mtime is older than the TTL is *expired*
+  and may be taken over atomically by rename, which is how the shard of a
+  SIGKILLed worker gets re-leased.  Completed shards leave a ``.done``
+  marker so they are never claimed again.
+* :func:`run_worker` -- the worker loop behind ``repro dse worker`` (entry
+  point: :func:`repro.toolflow.parallel.shard_worker`).  Claim a shard,
+  evaluate its points with heartbeat renewal after every persisted task
+  group, mark it done, repeat; when shards remain but none is claimable,
+  wait for a lease to expire instead of stranding it.
+* :class:`Dispatcher` -- partitions a :class:`~repro.dse.space.DesignSpace`
+  into M shards (M > N workers, so a death costs at most one shard of
+  progress), writes the dispatch manifest, runs N local worker processes
+  (or prints the per-machine command lines for remote launch), and watches
+  progress -- point counts and an ETA driven by the per-point ``wall_s``
+  timings the store rows record since schema v2.
+
+Correctness leans on two properties rather than on perfect mutual
+exclusion: shard evaluation is **idempotent** (results are deterministic)
+and the store **dedups by fingerprint**, so the worst a lease race can cost
+is duplicated work, never wrong or duplicated data.  A dispatched run's
+merged store therefore exports byte-identically to a single-process run of
+the same space (see :meth:`~repro.dse.store.ExperimentStore.export_rows`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import socket
+import subprocess
+import sys
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dse.runner import DSERunner, Shard
+from repro.dse.space import DesignSpace
+from repro.dse.store import ExperimentStore
+
+#: Subdirectory of the store directory holding lease and done files.
+LEASE_DIR = "leases"
+
+#: Dispatch manifest file name inside the store directory.
+MANIFEST_NAME = "dispatch.json"
+
+#: Default lease time-to-live.  A worker heartbeats after every completed
+#: task group -- one compilation plus a simulation per folded gate variant
+#: -- so the TTL must exceed the wall time of the slowest *task group*, not
+#: just the slowest point, by a comfortable margin; expiry within that
+#: margin makes another worker redo the shard (harmlessly, but twice).
+DEFAULT_TTL_S = 60.0
+
+
+class LeaseLost(RuntimeError):
+    """A worker's heartbeat found its shard lease reclaimed by another worker.
+
+    Raised out of the heartbeat hook to abort the shard mid-evaluation; the
+    rows persisted so far stay in the store (deduped by fingerprint), so the
+    new owner replays them instead of recomputing.
+    """
+
+
+@dataclass(frozen=True)
+class LeaseState:
+    """Snapshot of one shard's coordination state.
+
+    ``status`` is one of ``"open"`` (unclaimed), ``"active"`` (leased,
+    heartbeat fresh), ``"expired"`` (leased, heartbeat older than the TTL --
+    claimable by takeover) or ``"done"`` (completed, never claimable again).
+    """
+
+    index: int
+    status: str
+    owner: Optional[str] = None
+    age_s: Optional[float] = None
+
+
+def default_owner() -> str:
+    """Default lease-owner identity: host plus pid (unique per worker)."""
+
+    return f"{socket.gethostname()}-pid{os.getpid()}"
+
+
+def _filename_safe(owner: str) -> str:
+    """An owner string reduced to filename-safe characters (temp names)."""
+
+    return "".join(c if c.isalnum() or c in "-._" else "_" for c in owner)
+
+
+class ShardLedger:
+    """Lease files deciding which worker owns which shard of a dispatch.
+
+    All operations go through atomic filesystem primitives:
+
+    * **claim** -- the owner payload is written to a private temp file and
+      hardlinked to the lease name; ``os.link`` fails if the lease exists,
+      so exactly one contender wins a fresh claim.  An *expired* lease is
+      taken over by ``os.replace`` (atomic rename) followed by a read-back
+      ownership check, so concurrent takeovers resolve to the single owner
+      whose rename landed last.
+    * **renew** -- a heartbeat bumps the lease file's mtime; expiry is
+      ``now - mtime > ttl_s``.  A SIGKILLed worker stops heartbeating and
+      its shard becomes claimable after one TTL.
+    * **release** -- writes the ``.done`` marker (atomic rename) before
+      dropping the lease, so a shard can never report done-and-claimable.
+
+    The remaining races (takeover read-back window, renew-after-reclaim)
+    can only duplicate work, which the experiment store's fingerprint dedup
+    absorbs; they cannot corrupt results.
+    """
+
+    def __init__(self, directory, count: int, *, ttl_s: float = DEFAULT_TTL_S) -> None:
+        if count < 1:
+            raise ValueError("shard count must be at least 1")
+        if ttl_s <= 0:
+            raise ValueError("lease ttl_s must be positive")
+        self.directory = Path(directory)
+        self.count = int(count)
+        self.ttl_s = float(ttl_s)
+        # The directory is created lazily by the write paths (claim/release)
+        # so that read-only inspection -- `dse status --eta` on a store the
+        # user only queries, possibly on a read-only mount -- never mutates
+        # the store.  Read paths treat a missing directory as all-open.
+
+    @classmethod
+    def for_store(cls, store_dir, count: int, *,
+                  ttl_s: float = DEFAULT_TTL_S) -> "ShardLedger":
+        """The ledger living inside an experiment-store directory."""
+
+        return cls(Path(store_dir) / LEASE_DIR, count, ttl_s=ttl_s)
+
+    # ------------------------------------------------------------------ #
+    def _check_index(self, index: int) -> None:
+        if not 1 <= index <= self.count:
+            raise ValueError(f"shard index must be in 1..{self.count}, "
+                             f"got {index}")
+
+    def shard(self, index: int) -> Shard:
+        self._check_index(index)
+        return Shard(index, self.count)
+
+    def lease_path(self, index: int) -> Path:
+        self._check_index(index)
+        return self.directory / f"shard-{index}of{self.count}.lease"
+
+    def done_path(self, index: int) -> Path:
+        self._check_index(index)
+        return self.directory / f"shard-{index}of{self.count}.done"
+
+    # ------------------------------------------------------------------ #
+    def claim(self, index: int, owner: str) -> bool:
+        """Try to lease shard ``index`` for ``owner``; True iff it succeeded.
+
+        Fresh shards are claimed by atomic link; shards whose lease expired
+        (dead worker) are taken over by atomic rename.  Done shards and
+        actively-leased shards are never claimable.
+        """
+
+        self._check_index(index)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.done_path(index).exists():
+            return False
+        lease = self.lease_path(index)
+        # Fast path: a held-and-fresh lease is the common case while idle
+        # workers poll; answer it with one stat instead of churning temp
+        # files on the shared filesystem.  The atomic link below still has
+        # the final word on races.
+        try:
+            if time.time() - lease.stat().st_mtime <= self.ttl_s:
+                return False
+        except FileNotFoundError:
+            pass
+        payload = json.dumps({"owner": owner,
+                              "shard": f"{index}/{self.count}",
+                              "claimed_at": time.time()},
+                             sort_keys=True) + "\n"
+        # The temp name must be unique per *owner*, not per pid: two hosts
+        # sharing the store over NFS can easily collide on pid alone.
+        tmp = self.directory / f".claim-{index}.{_filename_safe(owner)}.tmp"
+        tmp.write_text(payload)
+        try:
+            try:
+                os.link(tmp, lease)  # atomic create: fails iff already leased
+                return True
+            except FileExistsError:
+                if not self._expired(lease):
+                    return False
+                os.replace(tmp, lease)  # atomic takeover of an expired lease
+                # Concurrent takeovers all rename successfully; the last
+                # rename wins, so confirm ownership by reading back.  The
+                # residual window only risks duplicated (idempotent,
+                # deduped) work.
+                return self.owner_of(index) == owner
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _expired(self, lease: Path) -> bool:
+        try:
+            age = time.time() - lease.stat().st_mtime
+        except FileNotFoundError:
+            # Released between the link attempt and now; a later claim pass
+            # will take it fresh.
+            return False
+        return age > self.ttl_s
+
+    def renew(self, index: int, owner: str) -> bool:
+        """Heartbeat: refresh ``owner``'s lease mtime; False if it was lost.
+
+        A False return means the lease expired and another worker took the
+        shard over (or released it) -- the caller must stop working on it.
+        """
+
+        self._check_index(index)
+        if self.owner_of(index) != owner:
+            return False
+        try:
+            os.utime(self.lease_path(index))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def release(self, index: int, owner: str, *, done: bool = True) -> None:
+        """Drop ``owner``'s lease; with ``done=True`` mark the shard complete.
+
+        The done marker is written (atomically) before the lease is removed,
+        so an ill-timed kill can leave a stale lease file behind but never a
+        completed shard that looks claimable.
+        """
+
+        self._check_index(index)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if done:
+            tmp = self.directory / f".done-{index}.{_filename_safe(owner)}.tmp"
+            tmp.write_text(json.dumps({"owner": owner,
+                                       "finished_at": time.time()},
+                                      sort_keys=True) + "\n")
+            os.replace(tmp, self.done_path(index))
+        if self.owner_of(index) == owner:
+            self.lease_path(index).unlink(missing_ok=True)
+
+    def owner_of(self, index: int) -> Optional[str]:
+        """The owner recorded in a shard's lease file, or ``None``."""
+
+        try:
+            payload = json.loads(self.lease_path(index).read_text())
+            return payload.get("owner")
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # ------------------------------------------------------------------ #
+    def state(self, index: int) -> LeaseState:
+        """The current :class:`LeaseState` of one shard."""
+
+        self._check_index(index)
+        if self.done_path(index).exists():
+            return LeaseState(index, "done")
+        try:
+            mtime = self.lease_path(index).stat().st_mtime
+        except FileNotFoundError:
+            return LeaseState(index, "open")
+        age = max(0.0, time.time() - mtime)
+        status = "expired" if age > self.ttl_s else "active"
+        return LeaseState(index, status, owner=self.owner_of(index), age_s=age)
+
+    def states(self) -> List[LeaseState]:
+        return [self.state(index) for index in range(1, self.count + 1)]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts = {"open": 0, "active": 0, "expired": 0, "done": 0}
+        for state in self.states():
+            counts[state.status] += 1
+        return counts
+
+    def done_count(self) -> int:
+        return sum(1 for index in range(1, self.count + 1)
+                   if self.done_path(index).exists())
+
+    def all_done(self) -> bool:
+        return self.done_count() == self.count
+
+    def next_claim(self, owner: str) -> Optional[Shard]:
+        """Claim the first available shard for ``owner`` (or ``None``).
+
+        Workers start their scan at an owner-dependent offset so N workers
+        hitting an empty ledger at once mostly claim N different shards on
+        the first pass instead of stampeding shard 1.
+        """
+
+        offset = zlib.crc32(owner.encode()) % self.count
+        for step in range(self.count):
+            index = (offset + step) % self.count + 1
+            if self.claim(index, owner):
+                return self.shard(index)
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Dispatch manifest: the one file a worker needs to join a run.
+# --------------------------------------------------------------------------- #
+def write_manifest(store_dir, space: DesignSpace, *, shards: int,
+                   ttl_s: float = DEFAULT_TTL_S, jobs: int = 1,
+                   throttle_s: float = 0.0) -> Path:
+    """Write ``<store>/dispatch.json`` describing the run (atomic replace).
+
+    A worker pointed at the store directory reads everything it needs from
+    this manifest: the space, the shard count, the lease TTL and the
+    per-worker ``jobs``.  Re-preparing an existing dispatch is allowed only
+    if the space and shard count are unchanged (the shard partition must
+    stay stable across resumes); TTL/jobs/throttle may be retuned.
+    """
+
+    from repro.io.serialization import SCHEMA_VERSION
+
+    store_dir = Path(store_dir)
+    store_dir.mkdir(parents=True, exist_ok=True)
+    path = store_dir / MANIFEST_NAME
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "space": space.to_dict(),
+        "shards": int(shards),
+        "ttl_s": float(ttl_s),
+        "jobs": int(jobs),
+        "throttle_s": float(throttle_s),
+    }
+    if path.exists():
+        existing = read_manifest(store_dir)
+        if (existing.get("space") != manifest["space"]
+                or existing.get("shards") != manifest["shards"]):
+            raise ValueError(
+                f"{path} already describes a different dispatch (space or "
+                f"shard count differs); use a fresh store directory, or "
+                f"delete the manifest to redefine the run")
+    tmp = store_dir / f".{MANIFEST_NAME}.{default_owner()}.tmp"
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_manifest(store_dir) -> Dict:
+    """Load and validate the dispatch manifest of a store directory."""
+
+    from repro.io.serialization import check_schema_version
+
+    path = Path(store_dir) / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(
+            f"no dispatch manifest at {path}; run `repro dse dispatch` "
+            f"(or Dispatcher.prepare) before starting workers")
+    except json.JSONDecodeError as err:
+        raise ValueError(f"corrupt dispatch manifest at {path}: {err}") from err
+    check_schema_version(manifest, source=str(path))
+    return manifest
+
+
+# --------------------------------------------------------------------------- #
+# Worker loop
+# --------------------------------------------------------------------------- #
+def run_worker(store_dir, *, owner: Optional[str] = None,
+               jobs: Optional[int] = None, circuits=None,
+               idle_wait_s: Optional[float] = None) -> Dict[str, object]:
+    """Lease and evaluate shards from ``store_dir`` until the run completes.
+
+    The loop: claim a shard, open a *fresh* store view (so rows flushed by
+    other workers -- including a dead worker's partial shard file -- replay
+    instead of recomputing), evaluate the shard's points with a heartbeat
+    after every persisted task group, mark the shard done, repeat.  When
+    shards remain but none is claimable (all actively leased), the worker
+    waits for a lease to expire rather than exiting and stranding a dead
+    worker's shard.
+
+    One :class:`~repro.toolflow.parallel.ProgramCache` is shared across all
+    shards this worker runs, so gate variants split across shards still
+    compile once per worker.
+
+    Returns ``{"owner", "completed", "lost"}`` where ``lost`` lists shards
+    aborted because the lease was reclaimed mid-evaluation.
+    """
+
+    from repro.toolflow.parallel import ProgramCache
+
+    store_dir = Path(store_dir)
+    manifest = read_manifest(store_dir)
+    space = DesignSpace.from_dict(manifest["space"])
+    ledger = ShardLedger.for_store(store_dir, manifest["shards"],
+                                   ttl_s=manifest.get("ttl_s", DEFAULT_TTL_S))
+    owner = owner or default_owner()
+    jobs = int(manifest.get("jobs", 1)) if jobs is None else int(jobs)
+    throttle_s = float(manifest.get("throttle_s", 0.0))
+    if idle_wait_s is None:
+        idle_wait_s = max(0.05, min(1.0, ledger.ttl_s / 4))
+
+    cache = ProgramCache()
+    completed: List[int] = []
+    lost: List[int] = []
+    while True:
+        shard = ledger.next_claim(owner)
+        if shard is None:
+            if ledger.all_done():
+                break
+            # Unfinished shards are all actively leased; one of them may
+            # belong to a dead worker, so wait for expiry instead of exiting.
+            time.sleep(idle_wait_s)
+            continue
+
+        def heartbeat(index: int = shard.index) -> None:
+            if not ledger.renew(index, owner):
+                raise LeaseLost(f"lease on shard {index}/{ledger.count} was "
+                                f"reclaimed from {owner}")
+            if throttle_s:
+                time.sleep(throttle_s)
+
+        # A fresh store load sees every row other workers have flushed so
+        # far, so a reclaimed shard replays the dead worker's partial
+        # results instead of recomputing them.  The writer file is
+        # per-(shard, owner): after a takeover, an alive-but-slow previous
+        # owner may still flush one in-flight group before its next
+        # heartbeat notices the loss, and two processes appending to one
+        # file over NFS can tear each other's rows.  Separate files close
+        # that window; directory union and fingerprint dedup merge them
+        # losslessly.
+        writer = f"{shard.name}-{_filename_safe(owner)}"
+        with ExperimentStore(store_dir, writer=writer) as store:
+            runner = DSERunner(space, store=store, jobs=jobs, shard=shard,
+                               cache=cache, circuits=circuits,
+                               heartbeat=heartbeat)
+            try:
+                runner.evaluate_space()
+            except LeaseLost:
+                lost.append(shard.index)
+                continue
+        ledger.release(shard.index, owner, done=True)
+        completed.append(shard.index)
+    return {"owner": owner, "completed": completed, "lost": lost}
+
+
+# --------------------------------------------------------------------------- #
+# Progress / ETA
+# --------------------------------------------------------------------------- #
+def estimate_eta_s(pending: int, timings: Sequence[float],
+                   active_workers: int) -> Optional[float]:
+    """Remaining wall seconds from stored per-point timings.
+
+    ``pending`` points at the mean recorded ``wall_s`` per point, divided by
+    the number of workers actively evaluating.  Returns ``0.0`` when nothing
+    is pending and ``None`` when no row has recorded a timing yet (rows
+    written before schema v2 carry none -- unknown is not zero).
+    """
+
+    if pending <= 0:
+        return 0.0
+    if not timings:
+        return None
+    mean = sum(timings) / len(timings)
+    return pending * mean / max(1, active_workers)
+
+
+def format_eta(eta_s: Optional[float]) -> str:
+    """Human-readable ETA (``"unknown"`` when no timings exist yet)."""
+
+    if eta_s is None:
+        return "unknown (no per-point timings recorded yet)"
+    if eta_s >= 120.0:
+        return f"{eta_s / 60.0:.1f} min"
+    return f"{eta_s:.1f} s"
+
+
+# --------------------------------------------------------------------------- #
+# Dispatcher
+# --------------------------------------------------------------------------- #
+class Dispatcher:
+    """Partition a space into leased shards and drive workers to completion.
+
+    Parameters
+    ----------
+    space:
+        The design space to evaluate (exhaustive grid; adaptive strategies
+        cannot shard -- see :meth:`DSERunner.run`).
+    store_dir:
+        Experiment-store directory shared by all workers.  Should be
+        dedicated to this study: progress accounting assumes every row in
+        it belongs to ``space``.
+    workers:
+        Local worker processes to run (ignored by :meth:`command_lines`,
+        which targets remote launch).
+    shards:
+        Lease granularity; defaults to ``4 * workers`` so workers stay busy
+        through the tail and a worker death forfeits at most one shard of
+        fresh progress.
+    ttl_s:
+        Lease time-to-live; must exceed the slowest task group's wall time
+        -- one compile plus all its folded gate-variant simulations --
+        since heartbeats fire once per completed task group.
+    jobs:
+        Process-pool width *inside* each worker (total parallelism is
+        ``workers x jobs``).
+    throttle_s:
+        Optional sleep per heartbeat inside workers -- a load limiter for
+        shared machines, also used by the CI smoke test to widen the
+        kill window.  Default 0.
+    respawn / max_respawns:
+        Replace workers that exited non-zero (up to ``max_respawns``,
+        default ``workers``) while unfinished shards remain.
+    """
+
+    def __init__(self, space: DesignSpace, store_dir, *, workers: int = 2,
+                 shards: Optional[int] = None, ttl_s: float = DEFAULT_TTL_S,
+                 jobs: int = 1, throttle_s: float = 0.0, poll_s: float = 0.5,
+                 respawn: bool = True, max_respawns: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.space = space
+        self.store_dir = Path(store_dir)
+        self.workers = int(workers)
+        self.shards = int(shards) if shards is not None else 4 * self.workers
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
+        self.ttl_s = float(ttl_s)
+        self.jobs = int(jobs)
+        self.throttle_s = float(throttle_s)
+        self.poll_s = float(poll_s)
+        self.respawn = respawn
+        self.max_respawns = (self.workers if max_respawns is None
+                             else int(max_respawns))
+        self.respawned = 0
+        self.ledger = ShardLedger.for_store(self.store_dir, self.shards,
+                                            ttl_s=self.ttl_s)
+        self._procs: List[subprocess.Popen] = []
+
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> Path:
+        """Write the dispatch manifest; workers can join once this returns."""
+
+        return write_manifest(self.store_dir, self.space, shards=self.shards,
+                              ttl_s=self.ttl_s, jobs=self.jobs,
+                              throttle_s=self.throttle_s)
+
+    def worker_command(self) -> List[str]:
+        """argv for one local worker subprocess."""
+
+        return [sys.executable, "-m", "repro", "dse", "worker",
+                "--store", str(self.store_dir)]
+
+    def command_lines(self) -> List[str]:
+        """Shell commands for launching the workers on remote machines.
+
+        Every machine that mounts the store directory runs the same
+        command; workers coordinate purely through the ledger, so any
+        number may join or die at any time.
+        """
+
+        command = " ".join(["python", "-m", "repro", "dse", "worker",
+                            "--store", shlex.quote(str(self.store_dir))])
+        return [command] * self.workers
+
+    def spawn_worker(self) -> subprocess.Popen:
+        """Start one local worker subprocess (repro importable via env)."""
+
+        env = os.environ.copy()
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (package_root if not existing
+                             else package_root + os.pathsep + existing)
+        return subprocess.Popen(self.worker_command(), env=env)
+
+    # ------------------------------------------------------------------ #
+    def progress(self) -> Dict[str, object]:
+        """One snapshot: point counts, shard states and the wall_s-driven ETA."""
+
+        store = ExperimentStore(self.store_dir)
+        counts = self.ledger.status_counts()
+        total = self.space.size
+        done_points = len(store)
+        pending = max(0, total - done_points)
+        eta_s = estimate_eta_s(pending, store.wall_timings(),
+                               max(1, counts["active"]))
+        return {
+            "points_done": done_points,
+            "points_total": total,
+            "points_pending": pending,
+            "shards": counts,
+            "eta_s": eta_s,
+        }
+
+    def _alive(self) -> List[subprocess.Popen]:
+        return [proc for proc in self._procs if proc.poll() is None]
+
+    def _reap_and_respawn(self) -> None:
+        """Replace workers that died abnormally, within the respawn budget."""
+
+        for proc in list(self._procs):
+            if proc.poll() is None or proc.returncode == 0:
+                continue
+            self._procs.remove(proc)
+            if (self.respawn and self.respawned < self.max_respawns
+                    and not self.ledger.all_done()):
+                self.respawned += 1
+                self._procs.append(self.spawn_worker())
+
+    def run(self, *, timeout_s: Optional[float] = None,
+            on_progress: Optional[Callable[[Dict[str, object]], None]] = None,
+            progress_interval_s: float = 2.0) -> Dict[str, object]:
+        """Prepare, spawn local workers, and watch until every shard is done.
+
+        Dead workers' shards are reclaimed by the survivors through lease
+        expiry; workers that *exited* abnormally are additionally respawned
+        (the reclaim still happens through the ledger -- respawn just keeps
+        N workers pulling).  Returns a summary dictionary; ``complete`` is
+        False when the run timed out or every worker stopped with shards
+        unfinished and the respawn budget exhausted.
+        """
+
+        self.prepare()
+        started = time.monotonic()
+        self._procs = [self.spawn_worker() for _ in range(self.workers)]
+        last_report = -float("inf")
+        complete = False
+        try:
+            while True:
+                if self.ledger.all_done():
+                    complete = True
+                    break
+                if timeout_s is not None and time.monotonic() - started > timeout_s:
+                    break
+                self._reap_and_respawn()
+                if not self._alive():
+                    # Every worker exited (cleanly or beyond the respawn
+                    # budget) with shards unfinished: nobody is left to
+                    # reclaim them.
+                    complete = self.ledger.all_done()
+                    break
+                if (on_progress is not None
+                        and time.monotonic() - last_report >= progress_interval_s):
+                    last_report = time.monotonic()
+                    on_progress(self.progress())
+                time.sleep(self.poll_s)
+        finally:
+            # Workers exit by themselves once every shard is done; anything
+            # still running after a grace period (timeout/abort paths) is
+            # terminated so the dispatcher never leaks processes.
+            deadline = time.monotonic() + max(5.0, 4 * self.poll_s)
+            for proc in self._procs:
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    proc.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=2.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+        snapshot = self.progress()
+        if on_progress is not None:
+            on_progress(snapshot)
+        return {
+            "complete": complete,
+            "elapsed_s": time.monotonic() - started,
+            "respawned": self.respawned,
+            "points": snapshot["points_done"],
+            "points_total": snapshot["points_total"],
+            "shards": snapshot["shards"],
+        }

@@ -25,7 +25,12 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dse.space import DesignPoint, DesignSpace
-from repro.dse.store import ExperimentStore, record_to_row, row_to_record
+from repro.dse.store import (
+    DEFAULT_WRITER,
+    ExperimentStore,
+    record_to_row,
+    row_to_record,
+)
 from repro.io.fingerprint import design_point_fingerprint
 from repro.ir.circuit import Circuit
 from repro.toolflow.parallel import ProgramCache, SweepTask, iter_tasks
@@ -52,13 +57,21 @@ class Shard:
 
     @classmethod
     def parse(cls, text: str) -> "Shard":
-        """Parse the CLI form ``"i/N"`` (e.g. ``"2/4"``)."""
+        """Parse the CLI form ``"i/N"`` (e.g. ``"2/4"``).
+
+        Only *format* problems (not two ``/``-separated integers) collapse
+        into the generic message; the range errors of ``__post_init__`` --
+        ``--shard 0/4``, ``--shard 5/4`` -- propagate unmasked so the user
+        sees which bound was violated.
+        """
 
         try:
             index_text, count_text = text.split("/")
-            return cls(int(index_text), int(count_text))
-        except (ValueError, TypeError):
-            raise ValueError(f"expected a shard of the form i/N, got {text!r}")
+            index, count = int(index_text), int(count_text)
+        except (ValueError, TypeError) as err:
+            raise ValueError(
+                f"expected a shard of the form i/N, got {text!r}") from err
+        return cls(index, count)
 
     @property
     def name(self) -> str:
@@ -95,6 +108,12 @@ class DSERunner:
     cache:
         Compiled-program cache shared across evaluations (one per runner by
         default).
+    heartbeat:
+        Optional no-argument callable invoked after each completed-and-
+        persisted task group.  The shard dispatcher uses it to renew the
+        worker's lease on its shard (and to abort the shard, by raising
+        :class:`~repro.dse.dispatch.LeaseLost`, when the lease was reclaimed
+        by another worker); progress monitors can use it as a tick.
     """
 
     def __init__(self, space: DesignSpace, store: Optional[ExperimentStore] = None, *,
@@ -102,9 +121,15 @@ class DSERunner:
                  jobs: int = 1,
                  shard: Optional[Shard] = None,
                  cache: Optional[ProgramCache] = None,
-                 circuit_builder: Optional[Callable[[str, Optional[int]], Circuit]] = None
+                 circuit_builder: Optional[Callable[[str, Optional[int]], Circuit]] = None,
+                 heartbeat: Optional[Callable[[], None]] = None,
                  ) -> None:
-        if store is not None and shard is not None and store.directory is not None:
+        if (store is not None and shard is not None
+                and store.directory is not None
+                and store.writer == DEFAULT_WRITER):
+            # Default writer: shard runs retarget to their own shard file.
+            # A caller-chosen writer (e.g. the dispatcher's per-owner files)
+            # is respected.
             store.set_writer(shard.name)
         self.space = space
         self.store = store if store is not None else ExperimentStore()
@@ -112,6 +137,7 @@ class DSERunner:
         self.jobs = jobs
         self.shard = shard
         self.cache = cache if cache is not None else ProgramCache()
+        self.heartbeat = heartbeat
         self._circuit_builder = circuit_builder or _default_circuit_builder
         self._circuit_memo: Dict[Tuple[str, Optional[int]], Circuit] = {}
         self._fingerprint_memo: Dict[DesignPoint, str] = {}
@@ -219,6 +245,8 @@ class DSERunner:
                 self.stats["evaluated"] += 1
                 self.store.add(record_to_row(fingerprints[index],
                                              points[index], record))
+            if self.heartbeat is not None:
+                self.heartbeat()
 
         for index, (kind, payload) in enumerate(slots):
             if kind == CACHED:

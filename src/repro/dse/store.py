@@ -21,12 +21,19 @@ Rows are plain JSON; floats survive the round-trip bit-exactly (Python's
 ``json`` renders floats with ``repr`` and parses them back to the same
 double), which is what keeps store-routed figure sweeps golden-identical to
 direct runs.
+
+Since schema v2, rows also record the per-point ``wall_s`` evaluation time
+(driving ``dse status --eta`` and the dispatcher's progress watch); being
+per-run noise, it is stripped from :meth:`ExperimentStore.export_rows`, the
+canonical export used to check that sharded/dispatched runs match serial
+ones byte-for-byte.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
@@ -34,6 +41,25 @@ from repro.dse.space import DesignPoint, point_from_spec
 
 #: Default writer file name (shard writers use ``shard-<i>of<N>.jsonl``).
 DEFAULT_WRITER = "results"
+
+#: Row keys that describe *one particular run or writer* rather than the
+#: design point itself: wall timings differ run to run, and the stamped
+#: schema generation differs when an old store is resumed under a newer
+#: build.  They are excluded from canonical exports so that two stores of
+#: the same space -- serial, sharded, dispatched, resumed, mixed-version --
+#: export byte-identically (the export payload carries its own top-level
+#: ``schema_version``).
+VOLATILE_ROW_KEYS = frozenset({"wall_s", "schema_version"})
+
+#: Keys a row must carry to be replayable.  A partially copied shard file can
+#: tear a line into valid-but-incomplete JSON; such rows are skipped with a
+#: warning instead of blowing up later in :func:`row_to_record`.
+REQUIRED_ROW_KEYS = frozenset(
+    {"fingerprint", "point", "application", "metrics", "program_ops", "shuttles"})
+
+
+class StoreCorruptionWarning(UserWarning):
+    """A store file contained lines that could not be loaded and were skipped."""
 
 
 class CachedResult:
@@ -110,11 +136,13 @@ class CachedRecord:
     replayed from disk.
     """
 
-    __slots__ = ("point", "application", "result", "program_size", "num_shuttles")
+    __slots__ = ("point", "application", "result", "program_size",
+                 "num_shuttles", "wall_s")
 
     def __init__(self, point: DesignPoint, application: str,
                  metrics: Dict[str, float],
-                 program_size: int, num_shuttles: int) -> None:
+                 program_size: int, num_shuttles: int,
+                 wall_s: Optional[float] = None) -> None:
         self.point = point
         # The circuit's own name (e.g. "qft64"), which can differ from the
         # suite key the point addresses it by (e.g. "QFT").
@@ -122,6 +150,10 @@ class CachedRecord:
         self.result = CachedResult(metrics)
         self.program_size = program_size
         self.num_shuttles = num_shuttles
+        # Wall-clock seconds the original evaluation took; ``None`` for rows
+        # written before schema v2 (unknown, deliberately not zero -- ETA
+        # math must ignore them, not average them in).
+        self.wall_s = wall_s
 
     @property
     def config(self):
@@ -159,15 +191,20 @@ def row_to_record(row: Dict[str, object]) -> CachedRecord:
         metrics=row["metrics"],
         program_size=row["program_ops"],
         num_shuttles=row["shuttles"],
+        wall_s=row.get("wall_s"),
     )
 
 
 def record_to_row(fingerprint: str, point: DesignPoint, record) -> Dict[str, object]:
-    """Serialise one evaluated point (live or cached record) to a store row."""
+    """Serialise one evaluated point (live or cached record) to a store row.
+
+    The ``wall_s`` timing is recorded only when the record carries one;
+    replays of pre-v2 rows stay timing-free rather than gaining a fake zero.
+    """
 
     from repro.io.serialization import SCHEMA_VERSION
 
-    return {
+    row = {
         "schema_version": SCHEMA_VERSION,
         "fingerprint": fingerprint,
         "point": point.spec(),
@@ -176,6 +213,10 @@ def record_to_row(fingerprint: str, point: DesignPoint, record) -> Dict[str, obj
         "shuttles": record.num_shuttles,
         "metrics": record.result.as_dict(),
     }
+    wall_s = getattr(record, "wall_s", None)
+    if wall_s is not None:
+        row["wall_s"] = wall_s
+    return row
 
 
 class ExperimentStore:
@@ -202,24 +243,63 @@ class ExperimentStore:
         from repro.io.serialization import check_schema_version
 
         for path in sorted(self.directory.glob("*.jsonl")):
-            with open(path) as handle:
-                for line in handle:
-                    line = line.strip()
+            # A broken *trailing* line is the expected artifact of a killed
+            # (or still-appending) writer -- the designed resume-after-kill
+            # path -- and is skipped silently.  A broken line anywhere else
+            # means real corruption (e.g. a partially copied shard file) and
+            # is worth a warning.  Both are skipped, never aborted on; the
+            # warning for a skip is therefore deferred until a later
+            # non-empty line proves the skip was mid-file.
+            # ``errors="replace"`` keeps a partially copied (even
+            # binary-torn) file decodable; the mangled lines then fail JSON
+            # parsing and are skipped like any other corrupt line.
+            pending_warning = None
+            with open(path, errors="replace") as handle:
+                for lineno, raw in enumerate(handle, 1):
+                    line = raw.strip()
                     if not line:
                         continue
-                    try:
-                        row = json.loads(line)
-                    except json.JSONDecodeError:
-                        # A kill mid-append leaves a truncated trailing line;
-                        # every complete row before it is still valid.
+                    if pending_warning is not None:
+                        self._warn_skip(path, *pending_warning)
+                        pending_warning = None
+                    reason = self._ingest_line(path, lineno, line,
+                                               check_schema_version)
+                    if reason is not None:
                         self.skipped_lines += 1
-                        continue
-                    check_schema_version(row, source=str(path))
-                    fingerprint = row.get("fingerprint")
-                    if not fingerprint or fingerprint in self._rows:
-                        continue
-                    self._rows[fingerprint] = row
-                    self._sources[fingerprint] = path.name
+                        pending_warning = (lineno, reason)
+
+    def _ingest_line(self, path: Path, lineno: int, line: str,
+                     check_schema_version) -> Optional[str]:
+        """Index one store line; returns a skip reason for corrupt lines."""
+
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            return "unparseable JSON (torn or corrupt line)"
+        if not isinstance(row, dict):
+            return "not a JSON object"
+        version = row.get("schema_version", 0)
+        if not isinstance(version, int) or version < 0:
+            # A garbled version field is line corruption: skip the line,
+            # don't abort the directory.  Genuinely *newer* payloads still
+            # fail loudly below -- silently misreading them would be worse.
+            return f"malformed schema_version {version!r}"
+        check_schema_version(row, source=f"{path}:{lineno}")
+        fingerprint = row.get("fingerprint")
+        if not fingerprint:
+            return "row has no fingerprint"
+        if fingerprint in self._rows:
+            return None  # dedup, not corruption
+        missing = REQUIRED_ROW_KEYS - row.keys()
+        if missing:
+            return f"row is missing {sorted(missing)} (torn mid-copy?)"
+        self._rows[fingerprint] = row
+        self._sources[fingerprint] = path.name
+        return None
+
+    def _warn_skip(self, path: Path, lineno: int, reason: str) -> None:
+        warnings.warn(f"experiment store: skipping {path.name}:{lineno}: "
+                      f"{reason}", StoreCorruptionWarning, stacklevel=4)
 
     def reload(self) -> None:
         """Re-read the directory (pick up rows appended by other writers)."""
@@ -254,6 +334,38 @@ class ExperimentStore:
         """All rows in fingerprint order (canonical for exports and diffs)."""
 
         return [self._rows[fp] for fp in sorted(self._rows)]
+
+    def export_rows(self) -> List[Dict]:
+        """Canonical rows for ``dse export``: deterministic bytes per study.
+
+        Fingerprint-sorted, recursively key-sorted, with per-run/per-writer
+        fields (:data:`VOLATILE_ROW_KEYS`: wall timings, row schema stamps)
+        dropped.  Two stores holding the same evaluated space therefore export
+        byte-identically regardless of how they were produced -- one process,
+        ``--jobs N``, hand-launched shards, or a dispatched run with killed
+        and reclaimed workers -- which is what makes exports diffable in CI.
+        """
+
+        def canonical(value):
+            if isinstance(value, dict):
+                return {key: canonical(value[key]) for key in sorted(value)
+                        if key not in VOLATILE_ROW_KEYS}
+            if isinstance(value, list):
+                return [canonical(item) for item in value]
+            return value
+
+        return [canonical(row) for row in self.sorted_rows()]
+
+    def wall_timings(self) -> List[float]:
+        """Per-point ``wall_s`` of every row that recorded one.
+
+        Rows written before schema v2 carry no timing and are simply absent
+        here (unknown is not zero), so ETA estimates stay unbiased on stores
+        that mix old and new rows.
+        """
+
+        return [row["wall_s"] for row in self._rows.values()
+                if isinstance(row.get("wall_s"), (int, float))]
 
     def fingerprints(self) -> List[str]:
         return list(self._rows)
@@ -299,19 +411,34 @@ class ExperimentStore:
 
         A run killed mid-write can leave the file without a final newline;
         appending straight after would concatenate the next row onto the
-        torn fragment and silently lose it on reload.  Terminating the
-        fragment keeps it skippable and the new row parseable.
+        unterminated tail and silently lose both on reload.  Two cases:
+        a tail that is a *complete* JSON row (killed between the write and
+        its newline) is terminated in place -- the loader already indexed
+        it, so deleting it would lose a point forever (dedup stops it from
+        being rewritten).  A tail that is a genuine fragment holds no
+        recoverable row and is truncated away, so the file stays clean
+        JSONL and later loads never trip over a permanent mid-file scar.
         """
 
         path = self.writer_path
         if path.exists():
-            with open(path, "rb") as existing:
+            with open(path, "rb+") as existing:
                 existing.seek(0, os.SEEK_END)
                 if existing.tell() > 0:
                     existing.seek(-1, os.SEEK_END)
                     if existing.read(1) != b"\n":
-                        with open(path, "a") as repair:
-                            repair.write("\n")
+                        # Rare heal path: inspect the unterminated tail.
+                        existing.seek(0)
+                        content = existing.read()
+                        tail = content[content.rfind(b"\n") + 1:]
+                        try:
+                            complete = isinstance(json.loads(tail), dict)
+                        except json.JSONDecodeError:
+                            complete = False
+                        if complete:
+                            existing.write(b"\n")
+                        else:
+                            existing.truncate(content.rfind(b"\n") + 1)
         return open(path, "a")
 
     def set_writer(self, writer: str) -> None:

@@ -38,9 +38,16 @@ from repro.toolflow.runner import ExperimentRecord
 
 #: Version stamped into every persisted payload (programs, results, figure
 #: bundles, experiment-store rows).  Bump when a field changes meaning or is
-#: removed; pure additions do not require a bump.  Loaders accept any version
-#: up to and including this one (missing = 0, the pre-versioned format).
-SCHEMA_VERSION = 1
+#: removed, or when an addition carries semantics downstream tooling must be
+#: able to detect (inert additions alone do not require one).  Loaders accept
+#: any version up to and including this one (missing = 0, the pre-versioned
+#: format).
+#:
+#: History: 1 = first versioned format; 2 = experiment-store rows may carry a
+#: per-point ``wall_s`` timing (absent in v1 rows, which still load -- missing
+#: timings are treated as unknown, never as zero; the bump is what lets
+#: timing-aware tooling tell the two generations apart).
+SCHEMA_VERSION = 2
 
 
 def check_schema_version(payload: Dict, *, source: str = "payload") -> int:

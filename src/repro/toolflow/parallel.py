@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import replace
@@ -132,13 +133,22 @@ class SweepTask:
 
 
 def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]:
-    """Run one task against ``cache``; mirrors the serial runner drivers."""
+    """Run one task against ``cache``; mirrors the serial runner drivers.
 
+    Every record carries ``wall_s``, the wall-clock cost of producing it: its
+    simulation time plus an even share of the task's compile time (zero on a
+    cache hit).  The DSE store persists these timings, which is what drives
+    ``dse status --eta`` and the dispatcher's progress watch.
+    """
+
+    compile_start = perf_counter()
     program, device = cache.get_or_compile(task.circuit, task.config, task.options)
+    compile_s = perf_counter() - compile_start
     program_size = len(program)
     num_shuttles = program.num_shuttles
     records: List[ExperimentRecord] = []
     if task.gates is None:
+        sim_start = perf_counter()
         result = simulate(program, device, keep_timeline=task.keep_timeline)
         records.append(ExperimentRecord(
             application=task.circuit.name,
@@ -146,10 +156,13 @@ def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]
             result=result,
             program_size=program_size,
             num_shuttles=num_shuttles,
+            wall_s=compile_s + perf_counter() - sim_start,
         ))
         return records
+    compile_share = compile_s / len(task.gates)
     for gate in task.gates:
         variant_device = device.with_gate(gate)
+        sim_start = perf_counter()
         result = simulate(program, variant_device, keep_timeline=task.keep_timeline)
         records.append(ExperimentRecord(
             application=task.circuit.name,
@@ -157,6 +170,7 @@ def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]
             result=result,
             program_size=program_size,
             num_shuttles=num_shuttles,
+            wall_s=compile_share + perf_counter() - sim_start,
         ))
     return records
 
@@ -226,3 +240,26 @@ def flatten(per_task_records: List[List[ExperimentRecord]]) -> List[ExperimentRe
     """Concatenate per-task record lists into one flat record list."""
 
     return [record for records in per_task_records for record in records]
+
+
+def shard_worker(store_dir, *, owner: Optional[str] = None,
+                 jobs: Optional[int] = None) -> Dict[str, object]:
+    """Entry point for one dispatched DSE worker process.
+
+    This is what ``python -m repro dse worker --store DIR`` (and the
+    dispatcher's locally spawned subprocesses) execute: read the dispatch
+    manifest from the store directory, then lease shards from the
+    :class:`~repro.dse.dispatch.ShardLedger` one at a time -- evaluating each
+    with lease-renewal heartbeats and marking it done -- until no claimable
+    shard remains.  All coordination logic lives in
+    :mod:`repro.dse.dispatch`; this function is the process-level entry so
+    every worker, local or remote, starts the same way.
+
+    Returns the worker summary of :func:`repro.dse.dispatch.run_worker`.
+    """
+
+    # Imported lazily: repro.dse.runner imports this module, so a top-level
+    # import would be circular.
+    from repro.dse.dispatch import run_worker
+
+    return run_worker(store_dir, owner=owner, jobs=jobs)

@@ -10,7 +10,7 @@ are produced from 72 compilations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.compiler.compile import CompilerOptions, compile_circuit
@@ -31,6 +31,12 @@ class ExperimentRecord:
     result: SimulationResult
     program_size: int
     num_shuttles: int
+    #: Wall-clock seconds spent producing this record (compile share plus its
+    #: simulation), measured by the sweep executor.  ``None`` when the record
+    #: was produced by an untimed path.  Excluded from equality and from
+    #: ``as_row()``: the timing describes the run, not the design point, so
+    #: report tables and golden outputs never depend on it.
+    wall_s: Optional[float] = field(default=None, compare=False)
 
     @property
     def fidelity(self) -> float:

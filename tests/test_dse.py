@@ -26,11 +26,14 @@ from repro.dse import (
     ExperimentStore,
     RandomSampling,
     Shard,
+    StoreCorruptionWarning,
     SuccessiveHalving,
     best_record,
     make_strategy,
     pareto_frontier,
     point_from_spec,
+    record_to_row,
+    row_to_record,
 )
 from repro.io.fingerprint import design_point_fingerprint, result_fingerprint
 from repro.toolflow import ArchitectureConfig
@@ -172,6 +175,94 @@ class TestExperimentStore:
         assert len(reloaded) == 2
         assert reloaded.get("aa")["application"] == "qft8"
 
+    def test_torn_line_mid_file_is_skipped_with_warning(self, tmp_path):
+        # A partially copied shard file can tear a line *anywhere*, not just
+        # at the tail; rows after the tear must still load.
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        lines = [json.dumps(self._row("aa")),
+                 '{"schema_version": 1, "fingerprint": "bb", "poi',  # torn
+                 json.dumps(self._row("cc"))]
+        (store_dir / "shard-1of2.jsonl").write_text("\n".join(lines) + "\n")
+        with pytest.warns(StoreCorruptionWarning, match="torn or corrupt"):
+            store = ExperimentStore(store_dir)
+        assert sorted(store.fingerprints()) == ["aa", "cc"]
+        assert store.skipped_lines == 1
+
+    def test_valid_json_but_incomplete_row_is_skipped(self, tmp_path):
+        # A tear can also produce parseable JSON that is not a usable row
+        # (not an object, or an object missing replay-critical keys); the
+        # loader must skip-and-warn, not blow up later in row_to_record.
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        lines = ["[1, 2, 3]",
+                 '{"schema_version": 1, "fingerprint": "bb"}',
+                 json.dumps(self._row("aa"))]
+        (store_dir / "results.jsonl").write_text("\n".join(lines) + "\n")
+        with pytest.warns(StoreCorruptionWarning):
+            store = ExperimentStore(store_dir)
+        assert store.fingerprints() == ["aa"]
+        assert store.skipped_lines == 2
+        assert [record.application for record in store.records()] == ["qft8"]
+
+    def test_malformed_schema_version_is_skipped_not_fatal(self, tmp_path):
+        # A corrupt line can garble the version field into parseable-but-
+        # nonsense JSON; that is line corruption (skip + warn), not a reason
+        # to abort the directory.  Genuinely newer versions stay fatal (see
+        # test_newer_schema_rejected).
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        bad = dict(self._row("bb"), schema_version="two")
+        lines = [json.dumps(bad), json.dumps(self._row("aa"))]
+        (store_dir / "results.jsonl").write_text("\n".join(lines) + "\n")
+        with pytest.warns(StoreCorruptionWarning, match="malformed"):
+            store = ExperimentStore(store_dir)
+        assert store.fingerprints() == ["aa"]
+        assert store.skipped_lines == 1
+
+    def test_binary_garbage_in_file_does_not_abort_load(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        with open(store_dir / "results.jsonl", "wb") as handle:
+            handle.write(json.dumps(self._row("aa")).encode() + b"\n")
+            handle.write(b"\xff\xfe garbage \x00\n")
+            handle.write(json.dumps(self._row("bb")).encode() + b"\n")
+        with pytest.warns(StoreCorruptionWarning):
+            store = ExperimentStore(store_dir)
+        assert sorted(store.fingerprints()) == ["aa", "bb"]
+
+    def test_unterminated_complete_trailing_row_survives_append(self, tmp_path):
+        # A kill can land between writing a full row and its newline.  The
+        # loader accepts the row, so the writer-open healing must terminate
+        # it -- not truncate it away, which would lose the point forever
+        # (dedup stops the replayed row from ever being rewritten).
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        (store_dir / "results.jsonl").write_text(
+            json.dumps(self._row("aa")) + "\n" + json.dumps(self._row("bb")))
+        store = ExperimentStore(store_dir)
+        assert sorted(store.fingerprints()) == ["aa", "bb"]
+        store.add(self._row("cc"))
+        store.close()
+        reloaded = ExperimentStore(store_dir)
+        assert sorted(reloaded.fingerprints()) == ["aa", "bb", "cc"]
+        assert reloaded.skipped_lines == 0
+
+    def test_torn_fragment_is_dropped_on_append(self, tmp_path):
+        # A genuine fragment (unparseable tail) holds no recoverable row;
+        # the writer-open healing removes it so later loads stay clean.
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        (store_dir / "results.jsonl").write_text(
+            json.dumps(self._row("aa")) + "\n" + '{"fingerprint": "bb", "tor')
+        store = ExperimentStore(store_dir)
+        assert store.fingerprints() == ["aa"]
+        store.add(self._row("cc"))
+        store.close()
+        reloaded = ExperimentStore(store_dir)
+        assert sorted(reloaded.fingerprints()) == ["aa", "cc"]
+        assert reloaded.skipped_lines == 0  # the scar is gone, not skipped
+
     def test_truncated_trailing_line_is_skipped(self, tmp_path):
         with ExperimentStore(tmp_path / "store") as store:
             store.add(self._row("aa"))
@@ -212,6 +303,53 @@ class TestExperimentStore:
         (store_dir / "results.jsonl").write_text(json.dumps(row) + "\n")
         with pytest.raises(ValueError, match="newer"):
             ExperimentStore(store_dir)
+
+    def test_mixed_version_store_round_trip(self, tmp_path):
+        # Schema v1 rows (PR 2 stores) carry no wall_s; they must load,
+        # replay and report next to v2 rows, and their missing timing must
+        # stay *absent* (unknown), never default to zero.
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        old_row = self._row("aa")  # schema_version 1, no wall_s
+        assert old_row["schema_version"] == 1
+        (store_dir / "pr2-era.jsonl").write_text(json.dumps(old_row) + "\n")
+        new_row = dict(self._row("bb"), schema_version=2, wall_s=0.25,
+                       application="bv8")
+        with ExperimentStore(store_dir) as store:
+            store.add(new_row)
+        reloaded = ExperimentStore(store_dir)
+        assert len(reloaded) == 2
+        assert reloaded.skipped_lines == 0
+        # ETA math sees exactly the one recorded timing.
+        assert reloaded.wall_timings() == [0.25]
+        by_fp = {fp: row_to_record(reloaded.get(fp)) for fp in ("aa", "bb")}
+        assert by_fp["aa"].wall_s is None
+        assert by_fp["bb"].wall_s == 0.25
+        # Replaying a v1 record into another store must not invent a timing.
+        replay_row = record_to_row("aa", by_fp["aa"].point, by_fp["aa"])
+        assert "wall_s" not in replay_row
+        replay_new = record_to_row("bb", by_fp["bb"].point, by_fp["bb"])
+        assert replay_new["wall_s"] == 0.25
+        # ... and the canonical export treats both generations alike: no
+        # timings, no per-row schema stamps (a resumed PR2-era store must
+        # export byte-identically to a fresh run of the same space).
+        for row in reloaded.export_rows():
+            assert "wall_s" not in row
+            assert "schema_version" not in row
+
+    def test_mixed_version_store_status_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        (store_dir / "pr2-era.jsonl").write_text(
+            json.dumps(self._row("aa")) + "\n")
+        with ExperimentStore(store_dir) as store:
+            store.add(dict(self._row("bb"), schema_version=2, wall_s=0.5))
+        assert main(["dse", "status", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 evaluated points" in out
+        assert "Timings: 1/2 rows carry wall_s" in out
 
 
 # --------------------------------------------------------------------------- #
@@ -258,6 +396,22 @@ class TestDSERunner:
         records = DSERunner(space).evaluate_space()
         assert records[0].application == "bv10"
 
+    def test_rows_record_wall_timings(self, mini_space, mini_circuits,
+                                      tmp_path):
+        with ExperimentStore(tmp_path / "store") as store:
+            records = DSERunner(mini_space, store=store,
+                                circuits=mini_circuits).evaluate_space()
+        # Every fresh evaluation times itself ...
+        assert all(record.wall_s > 0 for record in records)
+        reloaded = ExperimentStore(tmp_path / "store")
+        assert len(reloaded.wall_timings()) == mini_space.size
+        # ... the timing replays with the row ...
+        assert all(record.wall_s > 0 for record in reloaded.records())
+        # ... but never reaches report rows or canonical exports (it
+        # describes the run, not the design point).
+        assert all("wall_s" not in record.as_row() for record in records)
+        assert all("wall_s" not in row for row in reloaded.export_rows())
+
 
 class TestResumeAndShard:
     """The ISSUE's acceptance semantics: kill/resume and shard splits."""
@@ -287,12 +441,12 @@ class TestResumeAndShard:
         assert runner.stats == {"evaluated": 5, "reused": 3, "skipped": 0}
 
         # Bit-identical to the one-shot run: same record rows in order, and
-        # byte-identical canonical store content.
+        # byte-identical canonical store content (export_rows strips the
+        # per-run wall_s timings, which legitimately differ between runs).
         assert _rows(resumed) == _rows(reference)
 
         def canonical(store):
-            rows = [dict(row) for row in store.sorted_rows()]
-            return json.dumps(rows, sort_keys=True)
+            return json.dumps(store.export_rows(), sort_keys=True)
 
         assert canonical(ExperimentStore(tmp_path / "resumed")) == \
             canonical(ExperimentStore(tmp_path / "oneshot"))
@@ -343,6 +497,22 @@ class TestResumeAndShard:
             Shard.parse("5/4")
         with pytest.raises(ValueError):
             Shard.parse("nope")
+
+    def test_shard_parse_range_errors_not_masked(self):
+        # A well-formed i/N with an out-of-range index must surface the
+        # real bound violation, not the generic format message.
+        with pytest.raises(ValueError, match=r"shard index must be in 1\.\.4"):
+            Shard.parse("0/4")
+        with pytest.raises(ValueError, match=r"shard index must be in 1\.\.4"):
+            Shard.parse("5/4")
+        with pytest.raises(ValueError, match="at least 1"):
+            Shard.parse("1/0")
+        # Format errors keep the generic message, chained to the parse error.
+        with pytest.raises(ValueError, match="form i/N") as excinfo:
+            Shard.parse("nope")
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        with pytest.raises(ValueError, match="form i/N"):
+            Shard.parse("1/2/3")
 
     def test_adaptive_strategy_refuses_shard(self, mini_space, mini_circuits):
         runner = DSERunner(mini_space, circuits=mini_circuits, shard=Shard(1, 2))
