@@ -11,6 +11,12 @@ numbers in ``data/BENCH_dse.json`` so the trajectory is tracked per-PR:
 3. **Store load**: reopening the JSONL directory (the resume startup cost).
 4. **Pareto frontier** extraction over every stored record.
 
+The adaptive subsystem gets its own artefact, ``data/BENCH_adaptive.json``:
+evaluations-to-best versus the exhaustive grid for the surrogate-guided
+strategies, the pure proposer overhead per batch (model fitting +
+acquisition scoring, no simulation), and the incremental-reload cost of a
+progress tick against a populated store.
+
 Default scale is small; set ``REPRO_BENCH_SCALE=paper`` for the full Table II
 suite over the paper's capacity sweep.
 """
@@ -134,6 +140,87 @@ def test_dse_strategy_costs():
                  {name: {"evaluated": counts[name], "wall_s": timings[name]}
                   for name in counts})
     assert counts["greedy"] <= counts["grid"]
+
+
+def test_dse_adaptive_search():
+    """Adaptive strategies: evaluations-to-best vs grid, proposer overhead."""
+
+    from repro.dse import objective_value
+    from repro.dse.adaptive.propose import BayesProposer
+
+    space, suite = _space_and_suite()
+
+    grid_runner = DSERunner(space, circuits=suite)
+    start = time.perf_counter()
+    grid = grid_runner.run()
+    grid_s = time.perf_counter() - start
+    grid_best = grid.best.as_row()
+
+    # Drive the bayes proposer by hand so propose time (model fitting +
+    # acquisition scoring) separates cleanly from evaluation time.
+    proposer = BayesProposer(space, seed=5, batch_size=3)
+    runner = DSERunner(space, circuits=suite)
+    propose_s = 0.0
+    evaluate_s = 0.0
+    batches = 0
+    evals_to_best = None
+    while True:
+        start = time.perf_counter()
+        batch = proposer.next_batch()
+        propose_s += time.perf_counter() - start
+        if batch is None:
+            break
+        start = time.perf_counter()
+        records = runner.evaluate(list(batch.points))
+        evaluate_s += time.perf_counter() - start
+        start = time.perf_counter()
+        proposer.ingest(batch, [objective_value(r, "fidelity")
+                                for r in records])
+        propose_s += time.perf_counter() - start
+        batches += 1
+        if evals_to_best is None and any(
+                record.as_row() == grid_best for record in records):
+            evals_to_best = proposer.evaluations
+    found_best = evals_to_best is not None
+
+    # Incremental-reload cost of one progress tick against the populated
+    # grid store (the adaptive proposer's ingest loop pays exactly this).
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "store"
+        with ExperimentStore(store_dir) as store:
+            DSERunner(space, store=store, circuits=suite).evaluate_space()
+        watcher = ExperimentStore(store_dir)
+        start = time.perf_counter()
+        for _ in range(100):
+            watcher.reload()
+        tick_s = (time.perf_counter() - start) / 100
+
+    print()
+    print(f"Adaptive search (scale={bench_scale()}, grid = {space.size} points):")
+    print(f"  grid                 : {space.size:4d} evaluations "
+          f"in {grid_s:6.3f} s")
+    print(f"  bayes (seed 5)       : {proposer.evaluations:4d} evaluations "
+          f"in {evaluate_s:6.3f} s"
+          + (f", grid best found after {evals_to_best}" if found_best
+             else ", grid best NOT found"))
+    print(f"  proposer overhead    : {propose_s * 1e3:8.2f} ms total, "
+          f"{propose_s / batches * 1e3:6.2f} ms/batch ({batches} batches)")
+    print(f"  reload tick (no new) : {tick_s * 1e6:8.1f} us over "
+          f"{space.size} stored rows")
+    record_bench("adaptive", "search_efficiency", {
+        "grid_points": space.size,
+        "grid_s": grid_s,
+        "bayes_evaluations": proposer.evaluations,
+        "bayes_evaluate_s": evaluate_s,
+        "bayes_found_grid_best": found_best,
+        "bayes_evals_to_best": evals_to_best,
+        "proposer_overhead_s": propose_s,
+        "proposer_overhead_per_batch_s": propose_s / batches,
+        "batches": batches,
+        "reload_tick_s": tick_s,
+    })
+    assert proposer.evaluations <= space.size
+    assert batches > 0
 
 
 if __name__ == "__main__":

@@ -38,9 +38,18 @@ Custom design-space studies run through the ``dse`` family (quickstart)::
     python -m repro dse dispatch ... --print-only   # remote machines: run
     python -m repro dse worker --store runs/study   # one of these per host
 
-    # Adaptive search instead of the full grid:
+    # Adaptive search instead of the full grid (surrogate-guided Bayesian
+    # optimization finds the best point in a fraction of the evaluations):
     python -m repro dse run --space space.json --store runs/study \\
-        --strategy greedy --seed 7 --metric fidelity
+        --strategy bayes --seed 7 --metric fidelity
+
+    # The same adaptive search distributed: the dispatcher runs the
+    # proposer, workers lease signed proposal batches off the store's
+    # proposals/ ledger -- same best point, byte-identical export:
+    python -m repro dse dispatch --apps QFT,BV --capacities 14,18,22 \\
+        --store runs/study --strategy bayes --workers 3
+    python -m repro dse propose --store runs/study   # remote: proposer
+    python -m repro dse worker --store runs/study    # remote: per host
 
     # Inspect, rank, export:
     python -m repro dse status --store runs/study --eta
@@ -116,6 +125,35 @@ def _write_json(payload, path) -> bool:
         print(f"error: cannot write {path}: {exc}", file=sys.stderr)
         return False
     print(f"\nWrote JSON to {written}")
+    return True
+
+
+def _write_csv(rows, path) -> bool:
+    """Write ``--output`` CSV rows; report and return ``False`` on failure.
+
+    Same hardening as :func:`_write_json`: parent directories are created,
+    and any OS-level write failure is reported on stderr so the calling
+    subcommand can exit non-zero instead of crashing with a traceback.
+    """
+
+    import csv
+    from pathlib import Path
+
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            if rows:
+                writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+                writer.writeheader()
+                writer.writerows(rows)
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return False
+    if rows:
+        print(f"\nWrote CSV to {path}")
+    else:
+        print(f"\nWrote CSV to {path} (no rows -- the file is empty)")
     return True
 
 
@@ -233,16 +271,28 @@ def _add_dse_parsers(subparsers) -> None:
                      help="experiment-store directory (omit for a one-off "
                           "in-memory run)")
     run.add_argument("--strategy", default="grid",
-                     choices=["grid", "random", "greedy", "halving"],
+                     choices=["grid", "random", "greedy", "halving", "bayes",
+                              "adaptive-halving"],
                      help="search strategy (default: grid = exhaustive)")
     run.add_argument("--seed", type=int, default=0,
-                     help="random seed for random/greedy/halving (default: 0)")
+                     help="random seed for the seeded strategies (default: 0)")
     run.add_argument("--samples", type=_positive_int, default=None,
                      help="points to draw for --strategy random")
     run.add_argument("--metric", default="fidelity", choices=["fidelity", "runtime"],
                      help="objective to optimise (default: fidelity)")
     run.add_argument("--proxy-qubits", type=_positive_int, default=12,
-                     help="starting proxy size for --strategy halving (default: 12)")
+                     help="starting proxy size for --strategy "
+                          "halving/adaptive-halving (default: 12)")
+    run.add_argument("--batch-size", type=_positive_int, default=4,
+                     help="points per proposal batch for --strategy bayes "
+                          "(default: 4)")
+    run.add_argument("--max-evals", type=_positive_int, default=None,
+                     help="evaluation budget for --strategy bayes (default: "
+                          "a quarter of the grid)")
+    run.add_argument("--surrogate", default=None, choices=["rff", "trees"],
+                     help="surrogate model for the adaptive strategies "
+                          "(default: rff for bayes, trees for "
+                          "adaptive-halving)")
     run.add_argument("--jobs", type=_positive_int, default=1,
                      help="worker processes (default: 1 = serial)")
     run.add_argument("--shard", default=None,
@@ -255,22 +305,48 @@ def _add_dse_parsers(subparsers) -> None:
     dispatch = dse_sub.add_parser(
         "dispatch",
         help="run a design space through leased shards and worker processes",
-        description="Partition the space into M leased shards and drive N "
-                    "worker processes to completion.  Workers coordinate "
-                    "through lease files inside the store directory: claims "
-                    "are atomic, heartbeats renew a lease, and an expired "
-                    "lease (dead worker) is reclaimed by a surviving worker, "
-                    "so a killed worker costs at most one shard of redone "
-                    "work -- never data.  The merged store exports "
-                    "byte-identically to a single-process run.")
+        description="Partition the space into M leased shards (or, with an "
+                    "adaptive --strategy, into proposer-written proposal "
+                    "batches) and drive N worker processes to completion.  "
+                    "Workers coordinate through lease files inside the store "
+                    "directory: claims are atomic, heartbeats renew a lease, "
+                    "and an expired lease (dead worker) is reclaimed by a "
+                    "surviving worker, so a killed worker costs at most one "
+                    "lease of redone work -- never data.  The merged store "
+                    "exports byte-identically to a single-process run.")
     _add_space_arguments(dispatch)
     dispatch.add_argument("--store", required=True,
                           help="experiment-store directory shared by all "
                                "workers (dedicated to this study)")
+    dispatch.add_argument("--strategy", default="grid",
+                          choices=["grid", "bayes", "adaptive-halving"],
+                          help="grid = static leased shards (default); "
+                               "bayes/adaptive-halving = the propose/"
+                               "evaluate protocol (this process runs the "
+                               "proposer, workers lease proposal batches)")
+    dispatch.add_argument("--seed", type=int, default=0,
+                          help="seed for an adaptive --strategy (default: 0)")
+    dispatch.add_argument("--metric", default="fidelity",
+                          choices=["fidelity", "runtime"],
+                          help="objective for an adaptive --strategy "
+                               "(default: fidelity)")
+    dispatch.add_argument("--batch-size", type=_positive_int, default=4,
+                          help="points per proposal batch for --strategy "
+                               "bayes (default: 4)")
+    dispatch.add_argument("--max-evals", type=_positive_int, default=None,
+                          help="evaluation budget for --strategy bayes "
+                               "(default: a quarter of the grid)")
+    dispatch.add_argument("--surrogate", default=None,
+                          choices=["rff", "trees"],
+                          help="surrogate model for an adaptive --strategy")
+    dispatch.add_argument("--proxy-qubits", type=_positive_int, default=12,
+                          help="starting proxy size for --strategy "
+                               "adaptive-halving (default: 12)")
     dispatch.add_argument("--workers", type=_positive_int, default=2,
                           help="local worker processes (default: 2)")
     dispatch.add_argument("--shards", type=_positive_int, default=None,
-                          help="lease granularity (default: 4x workers)")
+                          help="lease granularity for --strategy grid "
+                               "(default: 4x workers)")
     dispatch.add_argument("--ttl-s", type=_positive_float, default=None,
                           help="lease time-to-live in seconds; must exceed "
                                "the slowest task group (one compile plus all "
@@ -291,15 +367,33 @@ def _add_dse_parsers(subparsers) -> None:
     worker = dse_sub.add_parser(
         "worker",
         help="join a dispatched run as one worker (internal/remote entry)",
-        description="Lease shards from a prepared dispatch (see `repro dse "
-                    "dispatch`) until every shard is done.  Run one of these "
-                    "per machine against a shared store directory.")
+        description="Lease work from a prepared dispatch (see `repro dse "
+                    "dispatch`) until the run is done: static shards, or "
+                    "proposal batches when the manifest declares an "
+                    "adaptive run.  Run one of these per machine against a "
+                    "shared store directory.")
     worker.add_argument("--store", required=True,
                         help="experiment-store directory with a dispatch.json")
     worker.add_argument("--owner", default=None,
                         help="lease-owner identity (default: <host>-pid<pid>)")
     worker.add_argument("--jobs", type=_positive_int, default=None,
                         help="override the manifest's per-worker jobs")
+
+    propose = dse_sub.add_parser(
+        "propose",
+        help="run the proposer side of an adaptive dispatched run",
+        description="Drive the propose/evaluate loop of an adaptive "
+                    "dispatch (see `repro dse dispatch --strategy bayes "
+                    "--print-only`): write signed proposal batches into the "
+                    "store's proposals/ ledger, ingest results as workers "
+                    "append them, and emit the next batch until the budget "
+                    "is spent.  Exactly one proposer per run; killed "
+                    "proposers restart from the ledger alone.")
+    propose.add_argument("--store", required=True,
+                         help="experiment-store directory with an "
+                              "adaptive-mode dispatch.json")
+    propose.add_argument("--poll-s", type=_positive_float, default=0.2,
+                         help="seconds between result polls (default: 0.2)")
 
     status = dse_sub.add_parser("status", help="summarise an experiment store")
     status.add_argument("--store", required=True, help="experiment-store directory")
@@ -313,13 +407,19 @@ def _add_dse_parsers(subparsers) -> None:
     status.add_argument("--workers", type=_positive_int, default=None,
                         help="assume this many active workers for --eta "
                              "(default: active leases, else 1)")
+    status.add_argument("--by-strategy", action="store_true",
+                        help="additionally break the stored points down by "
+                             "the strategy that proposed them (schema v3 "
+                             "provenance): counts and best per strategy")
 
     pareto = dse_sub.add_parser(
         "pareto", help="fidelity-vs-runtime Pareto frontier of a store")
     pareto.add_argument("--store", required=True, help="experiment-store directory")
     pareto.add_argument("--app", default=None,
                         help="restrict to one application (circuit name)")
-    pareto.add_argument("--output", default=None, help="write the frontier as JSON")
+    pareto.add_argument("--output", default=None,
+                        help="write the frontier as JSON, or as CSV when the "
+                             "path ends in .csv")
 
     export = dse_sub.add_parser(
         "export", help="merge and export a store as one canonical JSON file")
@@ -461,7 +561,10 @@ def _cmd_dse_run(args) -> int:
     try:
         strategy = make_strategy(args.strategy, seed=args.seed, metric=args.metric,
                                  samples=args.samples,
-                                 proxy_qubits=args.proxy_qubits)
+                                 proxy_qubits=args.proxy_qubits,
+                                 batch_size=args.batch_size,
+                                 max_evals=args.max_evals,
+                                 surrogate=args.surrogate)
         shard = Shard.parse(args.shard) if args.shard else None
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -553,6 +656,9 @@ def _cmd_dse_status(args) -> int:
         print(f"Timings: {len(timings)}/{len(store)} rows carry wall_s, "
               f"mean {mean_s:.3f} s/point")
 
+    if getattr(args, "by_strategy", False):
+        _print_by_strategy(store)
+
     space = None
     space_label = None
     if args.space:
@@ -571,6 +677,31 @@ def _cmd_dse_status(args) -> int:
     return 0
 
 
+def _print_by_strategy(store) -> None:
+    """The ``dse status --by-strategy`` tail: provenance-grouped points."""
+
+    from repro.dse import best_record
+
+    groups = {}
+    for record in store.records():
+        provenance = record.provenance or {}
+        label = provenance.get("strategy") or "(no provenance)"
+        groups.setdefault(label, []).append(record)
+    print("\nBy strategy (schema v3 provenance):")
+    for label, records in sorted(groups.items()):
+        full_scale = [r for r in records
+                      if (r.provenance or {}).get("proxy_qubits") is None]
+        best = best_record(full_scale or records)
+        seeds = sorted({(r.provenance or {}).get("seed") for r in records
+                        if (r.provenance or {}).get("seed") is not None})
+        proxies = sum(1 for r in records
+                      if (r.provenance or {}).get("proxy_qubits") is not None)
+        detail = f", {proxies} proxy-rung" if proxies else ""
+        seed_note = f", seed(s) {seeds}" if seeds else ""
+        print(f"  {label:16s} {len(records)} points{detail}{seed_note}; "
+              f"best fidelity {best.fidelity:.4e} ({best.application})")
+
+
 def _print_eta(args, store, space, pending) -> int:
     """The ``dse status --eta`` tail: pending x mean wall_s / active workers."""
 
@@ -578,9 +709,10 @@ def _print_eta(args, store, space, pending) -> int:
     from repro.dse.dispatch import DEFAULT_TTL_S, format_eta, read_manifest
 
     active = args.workers
+    manifest = None
     if space is None or active is None:
         # A dispatched store describes itself: the manifest names the space
-        # and the shard count, the ledger knows how many leases are live.
+        # and the work partition, the ledgers know how many leases are live.
         try:
             manifest = read_manifest(store.directory)
         except ValueError:
@@ -589,11 +721,18 @@ def _print_eta(args, store, space, pending) -> int:
             if space is None:
                 space = DesignSpace.from_dict(manifest["space"])
                 pending = None
-            if active is None:
+            if active is None and manifest.get("mode", "shards") == "shards":
                 ledger = ShardLedger.for_store(
                     store.directory, manifest["shards"],
                     ttl_s=manifest.get("ttl_s", DEFAULT_TTL_S))
                 active = ledger.status_counts()["active"]
+            elif active is None:
+                from repro.dse import ProposalLedger
+
+                ledger = ProposalLedger(
+                    store.directory,
+                    ttl_s=manifest.get("ttl_s", DEFAULT_TTL_S))
+                active = ledger.active_leases()
     if space is None:
         print("\nETA: unknown -- provide --space FILE (or dispatch through "
               "`repro dse dispatch`, which records the space in the store's "
@@ -601,8 +740,33 @@ def _print_eta(args, store, space, pending) -> int:
         return 1
     if pending is None:
         # Cheap lower bound: every store row is assumed to belong to the
-        # space (dispatch stores are dedicated to one study).
-        pending = max(0, space.size - len(store))
+        # space (dispatch stores are dedicated to one study).  An adaptive
+        # run stops at its evaluation budget, not the grid size -- and its
+        # ledger's complete marker means nothing is pending at all.
+        total = space.size
+        if manifest is not None and manifest.get("mode") == "adaptive":
+            from repro.dse import ProposalLedger
+            from repro.dse.adaptive.propose import default_max_evals
+
+            spec = manifest.get("strategy", {})
+            if ProposalLedger(store.directory).read_complete() is not None:
+                total = len(store)
+            elif spec.get("max_evals") is not None:
+                total = min(total, int(spec["max_evals"]))
+            elif spec.get("name") == "bayes":
+                total = min(total, default_max_evals(
+                    space.size, int(spec.get("batch_size", 4))))
+            else:
+                # A multi-fidelity ladder has no fixed budget: its rung
+                # sizes depend on results (and proxy rows can outnumber the
+                # grid), so pretending pending == grid - stored would
+                # report "0 pending" mid-run.  Honest unknown instead.
+                print(f"\nETA: unknown -- adaptive strategy "
+                      f"{spec.get('name')!r} has no fixed evaluation "
+                      f"budget (run `dse status` again once the proposals "
+                      f"ledger records completion)")
+                return 0
+        pending = max(0, total - len(store))
     active = active if active else 1
     eta_s = estimate_eta_s(pending, store.wall_timings(), active)
     print(f"ETA: {pending} pending points / {active} active worker(s) "
@@ -615,6 +779,8 @@ def _cmd_dse_dispatch(args) -> int:
     from repro.dse.dispatch import DEFAULT_TTL_S, format_eta
 
     space = _space_from_args(args)
+    if args.strategy != "grid":
+        return _dse_dispatch_adaptive(args, space)
     try:
         dispatcher = Dispatcher(
             space, args.store, workers=args.workers, shards=args.shards,
@@ -661,6 +827,84 @@ def _cmd_dse_dispatch(args) -> int:
     return 0 if summary["complete"] else 1
 
 
+def _dse_dispatch_adaptive(args, space) -> int:
+    """``dse dispatch --strategy bayes|adaptive-halving``: propose/evaluate."""
+
+    from repro.dse import AdaptiveDispatcher
+    from repro.dse.dispatch import DEFAULT_TTL_S
+
+    strategy = {"name": args.strategy, "seed": args.seed,
+                "metric": args.metric}
+    if args.strategy == "bayes":
+        strategy["batch_size"] = args.batch_size
+        if args.max_evals is not None:
+            strategy["max_evals"] = args.max_evals
+        if args.surrogate is not None:
+            strategy["surrogate"] = args.surrogate
+    else:
+        strategy["proxy_qubits"] = args.proxy_qubits
+        if args.surrogate is not None:
+            strategy["surrogate"] = args.surrogate
+    try:
+        dispatcher = AdaptiveDispatcher(
+            space, args.store, strategy=strategy, workers=args.workers,
+            ttl_s=args.ttl_s if args.ttl_s is not None else DEFAULT_TTL_S,
+            jobs=args.jobs,
+            throttle_s=args.throttle_s if args.throttle_s is not None else 0.0)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    print(f"Design space: {space.size} points, adaptive strategy "
+          f"{args.strategy} (seed {args.seed}) -> proposal batches x "
+          f"{args.workers} worker(s)")
+    print(f"Store       : {dispatcher.store_dir}")
+    if args.print_only:
+        try:
+            manifest = dispatcher.prepare()
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(f"Manifest    : {manifest}")
+        print("\nRun the proposer on one machine and one worker per machine "
+              "(each must mount the store directory):")
+        for line in dispatcher.command_lines():
+            print(f"  {line}")
+        return 0
+
+    try:
+        summary = dispatcher.run(timeout_s=args.timeout_s)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    status = "complete" if summary["complete"] else "INCOMPLETE"
+    print(f"\nAdaptive dispatch {status}: {summary.get('evaluations', 0)} "
+          f"evaluations over {summary.get('batches', 0)} batches in "
+          f"{summary['elapsed_s']:.1f} s "
+          f"(respawned {summary['respawned']} worker(s))")
+    best = summary.get("best")
+    if best is not None:
+        config = best["point"]["config"]
+        print(f"Best point  : {best['point']['app']} on "
+              f"{config['topology']}-cap{config['trap_capacity']}-"
+              f"{config['gate']}-{config['reorder']} "
+              f"({args.metric} objective {best['value']:.4e})")
+    return 0 if summary["complete"] else 1
+
+
+def _cmd_dse_propose(args) -> int:
+    from repro.dse import run_proposer
+
+    try:
+        summary = run_proposer(args.store, poll_s=args.poll_s)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(f"proposer: {summary['evaluations']} evaluations over "
+          f"{summary['batches']} batches")
+    best = summary.get("best")
+    if best is not None:
+        print(f"best: {best['point']['app']} "
+              f"(objective {best['value']:.4e})")
+    return 0
+
+
 def _cmd_dse_worker(args) -> int:
     from repro.toolflow.parallel import shard_worker
 
@@ -668,7 +912,7 @@ def _cmd_dse_worker(args) -> int:
         summary = shard_worker(args.store, owner=args.owner, jobs=args.jobs)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    print(f"worker {summary['owner']}: completed shards "
+    print(f"worker {summary['owner']}: completed "
           f"{summary['completed'] or '[]'}, lost {summary['lost'] or '[]'}")
     return 0
 
@@ -692,8 +936,13 @@ def _cmd_dse_pareto(args) -> int:
               f"fastest first):")
         _print_record_table(frontier)
         payload[app] = [record.as_row() for record in frontier]
-    if args.output and not _write_json(payload, args.output):
-        return 1
+    if args.output:
+        if str(args.output).endswith(".csv"):
+            rows = [row for app in sorted(payload) for row in payload[app]]
+            if not _write_csv(rows, args.output):
+                return 1
+        elif not _write_json(payload, args.output):
+            return 1
     return 0
 
 
@@ -728,12 +977,13 @@ def _open_store(path):
 
 def _cmd_dse(args, parser) -> int:
     if args.dse_command is None:
-        print("usage: repro dse {run,dispatch,worker,status,pareto,export} ... "
-              "(see `repro dse --help`)", file=sys.stderr)
+        print("usage: repro dse {run,dispatch,propose,worker,status,pareto,"
+              "export} ... (see `repro dse --help`)", file=sys.stderr)
         return 1
     handlers = {
         "run": _cmd_dse_run,
         "dispatch": _cmd_dse_dispatch,
+        "propose": _cmd_dse_propose,
         "worker": _cmd_dse_worker,
         "status": _cmd_dse_status,
         "pareto": _cmd_dse_pareto,

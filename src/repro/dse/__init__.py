@@ -22,21 +22,36 @@ compile/simulate core:
   :class:`Dispatcher` that partitions a space into leased shards, runs
   local worker processes (``repro dse dispatch``) or prints remote launch
   commands, and watches progress with a ``wall_s``-driven ETA.
+* :mod:`~repro.dse.adaptive` -- model-based search: incremental surrogate
+  regressors, expected-improvement/UCB batch proposers, a surrogate-ranked
+  multi-fidelity ladder, and the distributed propose/evaluate protocol
+  (a signed proposal ledger inside the store directory; ``repro dse
+  dispatch --strategy bayes``, ``repro dse propose``).
 
 The paper's Figures 6-8 are expressed as design spaces and executed through
 this engine (see :mod:`repro.toolflow.sweep`); ``python -m repro dse`` is the
 command-line entry point for custom studies.
 """
 
+from repro.dse.adaptive import (
+    AdaptiveDispatcher,
+    AdaptiveHalvingProposer,
+    BayesProposer,
+    ProposalLedger,
+    run_adaptive_worker,
+    run_proposer,
+)
 from repro.dse.dispatch import (
     DEFAULT_TTL_S,
     Dispatcher,
+    LeaseDir,
     LeaseLost,
     LeaseState,
     ShardLedger,
     estimate_eta_s,
     read_manifest,
     run_worker,
+    spawn_worker_process,
     write_manifest,
 )
 from repro.dse.pareto import (
@@ -58,7 +73,10 @@ from repro.dse.store import (
     row_to_record,
 )
 from repro.dse.strategies import (
+    ADAPTIVE_STRATEGY_NAMES,
     STRATEGY_NAMES,
+    AdaptiveHalving,
+    BayesianOptimization,
     CoordinateDescent,
     ExhaustiveGrid,
     RandomSampling,
@@ -69,10 +87,16 @@ from repro.dse.strategies import (
 )
 
 __all__ = [
+    "ADAPTIVE_STRATEGY_NAMES",
     "AXES",
     "DEFAULT_TTL_S",
     "OBJECTIVES",
     "STRATEGY_NAMES",
+    "AdaptiveDispatcher",
+    "AdaptiveHalving",
+    "AdaptiveHalvingProposer",
+    "BayesProposer",
+    "BayesianOptimization",
     "CachedRecord",
     "CachedResult",
     "CoordinateDescent",
@@ -82,8 +106,10 @@ __all__ = [
     "Dispatcher",
     "ExhaustiveGrid",
     "ExperimentStore",
+    "LeaseDir",
     "LeaseLost",
     "LeaseState",
+    "ProposalLedger",
     "RandomSampling",
     "Shard",
     "ShardLedger",
@@ -102,6 +128,9 @@ __all__ = [
     "read_manifest",
     "record_to_row",
     "row_to_record",
+    "run_adaptive_worker",
+    "run_proposer",
     "run_worker",
+    "spawn_worker_process",
     "write_manifest",
 ]

@@ -47,7 +47,7 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dse.runner import DSERunner, Shard
 from repro.dse.space import DesignSpace
@@ -103,10 +103,14 @@ def _filename_safe(owner: str) -> str:
     return "".join(c if c.isalnum() or c in "-._" else "_" for c in owner)
 
 
-class ShardLedger:
-    """Lease files deciding which worker owns which shard of a dispatch.
+class LeaseDir:
+    """Name-keyed lease files with atomic claim/renew/release semantics.
 
-    All operations go through atomic filesystem primitives:
+    The coordination primitive shared by the shard ledger and the adaptive
+    proposal ledger (:mod:`repro.dse.adaptive.protocol`).  Every unit of
+    work is a *name*; ``<name>.lease`` holds the current owner, ``<name>.done``
+    marks completion.  All operations go through atomic filesystem
+    primitives:
 
     * **claim** -- the owner payload is written to a private temp file and
       hardlinked to the lease name; ``os.link`` fails if the lease exists,
@@ -116,27 +120,161 @@ class ShardLedger:
       whose rename landed last.
     * **renew** -- a heartbeat bumps the lease file's mtime; expiry is
       ``now - mtime > ttl_s``.  A SIGKILLed worker stops heartbeating and
-      its shard becomes claimable after one TTL.
+      its work becomes claimable after one TTL.
     * **release** -- writes the ``.done`` marker (atomic rename) before
-      dropping the lease, so a shard can never report done-and-claimable.
+      dropping the lease, so work can never report done-and-claimable.
 
     The remaining races (takeover read-back window, renew-after-reclaim)
     can only duplicate work, which the experiment store's fingerprint dedup
     absorbs; they cannot corrupt results.
+
+    The directory is created lazily by the write paths (claim/release) so
+    that read-only inspection -- ``dse status --eta`` on a store the user
+    only queries, possibly on a read-only mount -- never mutates the store.
+    Read paths treat a missing directory as all-open.
+    """
+
+    def __init__(self, directory, *, ttl_s: float = DEFAULT_TTL_S) -> None:
+        if ttl_s <= 0:
+            raise ValueError("lease ttl_s must be positive")
+        self.directory = Path(directory)
+        self.ttl_s = float(ttl_s)
+
+    # ------------------------------------------------------------------ #
+    def lease_path(self, name: str) -> Path:
+        return self.directory / f"{name}.lease"
+
+    def done_path(self, name: str) -> Path:
+        return self.directory / f"{name}.done"
+
+    # ------------------------------------------------------------------ #
+    def claim(self, name: str, owner: str) -> bool:
+        """Try to lease ``name`` for ``owner``; True iff it succeeded.
+
+        Fresh work is claimed by atomic link; work whose lease expired
+        (dead worker) is taken over by atomic rename.  Done and
+        actively-leased work is never claimable.
+        """
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.done_path(name).exists():
+            return False
+        lease = self.lease_path(name)
+        # Fast path: a held-and-fresh lease is the common case while idle
+        # workers poll; answer it with one stat instead of churning temp
+        # files on the shared filesystem.  The atomic link below still has
+        # the final word on races.
+        try:
+            if time.time() - lease.stat().st_mtime <= self.ttl_s:
+                return False
+        except FileNotFoundError:
+            pass
+        payload = json.dumps({"owner": owner, "work": name,
+                              "claimed_at": time.time()},
+                             sort_keys=True) + "\n"
+        # The temp name must be unique per *owner*, not per pid: two hosts
+        # sharing the store over NFS can easily collide on pid alone.
+        tmp = self.directory / f".claim-{name}.{_filename_safe(owner)}.tmp"
+        tmp.write_text(payload)
+        try:
+            try:
+                os.link(tmp, lease)  # atomic create: fails iff already leased
+                return True
+            except FileExistsError:
+                if not self._expired(lease):
+                    return False
+                os.replace(tmp, lease)  # atomic takeover of an expired lease
+                # Concurrent takeovers all rename successfully; the last
+                # rename wins, so confirm ownership by reading back.  The
+                # residual window only risks duplicated (idempotent,
+                # deduped) work.
+                return self.owner_of(name) == owner
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _expired(self, lease: Path) -> bool:
+        try:
+            age = time.time() - lease.stat().st_mtime
+        except FileNotFoundError:
+            # Released between the link attempt and now; a later claim pass
+            # will take it fresh.
+            return False
+        return age > self.ttl_s
+
+    def renew(self, name: str, owner: str) -> bool:
+        """Heartbeat: refresh ``owner``'s lease mtime; False if it was lost."""
+
+        if self.owner_of(name) != owner:
+            return False
+        try:
+            os.utime(self.lease_path(name))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def release(self, name: str, owner: str, *, done: bool = True) -> None:
+        """Drop ``owner``'s lease; with ``done=True`` mark the work complete.
+
+        The done marker is written (atomically) before the lease is removed,
+        so work can never report done-and-claimable.
+        """
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if done:
+            tmp = self.directory / f".done-{name}.{_filename_safe(owner)}.tmp"
+            tmp.write_text(json.dumps({"owner": owner,
+                                       "finished_at": time.time()},
+                                      sort_keys=True) + "\n")
+            os.replace(tmp, self.done_path(name))
+        if self.owner_of(name) == owner:
+            self.lease_path(name).unlink(missing_ok=True)
+
+    def owner_of(self, name: str) -> Optional[str]:
+        """The owner recorded in a lease file, or ``None``."""
+
+        try:
+            payload = json.loads(self.lease_path(name).read_text())
+            return payload.get("owner")
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def is_done(self, name: str) -> bool:
+        return self.done_path(name).exists()
+
+    def status_of(self, name: str) -> Tuple[str, Optional[str], Optional[float]]:
+        """``(status, owner, age_s)`` of one unit of work.
+
+        ``status`` is one of ``"open"`` (unclaimed), ``"active"`` (leased,
+        heartbeat fresh), ``"expired"`` (claimable by takeover) or
+        ``"done"`` (never claimable again).
+        """
+
+        if self.is_done(name):
+            return "done", None, None
+        try:
+            mtime = self.lease_path(name).stat().st_mtime
+        except FileNotFoundError:
+            return "open", None, None
+        age = max(0.0, time.time() - mtime)
+        status = "expired" if age > self.ttl_s else "active"
+        return status, self.owner_of(name), age
+
+
+class ShardLedger:
+    """Lease files deciding which worker owns which shard of a dispatch.
+
+    A thin index-keyed view over :class:`LeaseDir` (shard ``i`` of ``N`` is
+    the work unit named ``shard-<i>of<N>``); see there for the atomicity and
+    crash-recovery discipline.
     """
 
     def __init__(self, directory, count: int, *, ttl_s: float = DEFAULT_TTL_S) -> None:
         if count < 1:
             raise ValueError("shard count must be at least 1")
-        if ttl_s <= 0:
-            raise ValueError("lease ttl_s must be positive")
-        self.directory = Path(directory)
+        self._leases = LeaseDir(directory, ttl_s=ttl_s)
+        self.directory = self._leases.directory
         self.count = int(count)
-        self.ttl_s = float(ttl_s)
-        # The directory is created lazily by the write paths (claim/release)
-        # so that read-only inspection -- `dse status --eta` on a store the
-        # user only queries, possibly on a read-only mount -- never mutates
-        # the store.  Read paths treat a missing directory as all-open.
+        self.ttl_s = self._leases.ttl_s
 
     @classmethod
     def for_store(cls, store_dir, count: int, *,
@@ -151,73 +289,25 @@ class ShardLedger:
             raise ValueError(f"shard index must be in 1..{self.count}, "
                              f"got {index}")
 
+    def _name(self, index: int) -> str:
+        self._check_index(index)
+        return f"shard-{index}of{self.count}"
+
     def shard(self, index: int) -> Shard:
         self._check_index(index)
         return Shard(index, self.count)
 
     def lease_path(self, index: int) -> Path:
-        self._check_index(index)
-        return self.directory / f"shard-{index}of{self.count}.lease"
+        return self._leases.lease_path(self._name(index))
 
     def done_path(self, index: int) -> Path:
-        self._check_index(index)
-        return self.directory / f"shard-{index}of{self.count}.done"
+        return self._leases.done_path(self._name(index))
 
     # ------------------------------------------------------------------ #
     def claim(self, index: int, owner: str) -> bool:
-        """Try to lease shard ``index`` for ``owner``; True iff it succeeded.
+        """Try to lease shard ``index`` for ``owner``; True iff it succeeded."""
 
-        Fresh shards are claimed by atomic link; shards whose lease expired
-        (dead worker) are taken over by atomic rename.  Done shards and
-        actively-leased shards are never claimable.
-        """
-
-        self._check_index(index)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        if self.done_path(index).exists():
-            return False
-        lease = self.lease_path(index)
-        # Fast path: a held-and-fresh lease is the common case while idle
-        # workers poll; answer it with one stat instead of churning temp
-        # files on the shared filesystem.  The atomic link below still has
-        # the final word on races.
-        try:
-            if time.time() - lease.stat().st_mtime <= self.ttl_s:
-                return False
-        except FileNotFoundError:
-            pass
-        payload = json.dumps({"owner": owner,
-                              "shard": f"{index}/{self.count}",
-                              "claimed_at": time.time()},
-                             sort_keys=True) + "\n"
-        # The temp name must be unique per *owner*, not per pid: two hosts
-        # sharing the store over NFS can easily collide on pid alone.
-        tmp = self.directory / f".claim-{index}.{_filename_safe(owner)}.tmp"
-        tmp.write_text(payload)
-        try:
-            try:
-                os.link(tmp, lease)  # atomic create: fails iff already leased
-                return True
-            except FileExistsError:
-                if not self._expired(lease):
-                    return False
-                os.replace(tmp, lease)  # atomic takeover of an expired lease
-                # Concurrent takeovers all rename successfully; the last
-                # rename wins, so confirm ownership by reading back.  The
-                # residual window only risks duplicated (idempotent,
-                # deduped) work.
-                return self.owner_of(index) == owner
-        finally:
-            tmp.unlink(missing_ok=True)
-
-    def _expired(self, lease: Path) -> bool:
-        try:
-            age = time.time() - lease.stat().st_mtime
-        except FileNotFoundError:
-            # Released between the link attempt and now; a later claim pass
-            # will take it fresh.
-            return False
-        return age > self.ttl_s
+        return self._leases.claim(self._name(index), owner)
 
     def renew(self, index: int, owner: str) -> bool:
         """Heartbeat: refresh ``owner``'s lease mtime; False if it was lost.
@@ -226,57 +316,24 @@ class ShardLedger:
         shard over (or released it) -- the caller must stop working on it.
         """
 
-        self._check_index(index)
-        if self.owner_of(index) != owner:
-            return False
-        try:
-            os.utime(self.lease_path(index))
-        except FileNotFoundError:
-            return False
-        return True
+        return self._leases.renew(self._name(index), owner)
 
     def release(self, index: int, owner: str, *, done: bool = True) -> None:
-        """Drop ``owner``'s lease; with ``done=True`` mark the shard complete.
+        """Drop ``owner``'s lease; with ``done=True`` mark the shard complete."""
 
-        The done marker is written (atomically) before the lease is removed,
-        so an ill-timed kill can leave a stale lease file behind but never a
-        completed shard that looks claimable.
-        """
-
-        self._check_index(index)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        if done:
-            tmp = self.directory / f".done-{index}.{_filename_safe(owner)}.tmp"
-            tmp.write_text(json.dumps({"owner": owner,
-                                       "finished_at": time.time()},
-                                      sort_keys=True) + "\n")
-            os.replace(tmp, self.done_path(index))
-        if self.owner_of(index) == owner:
-            self.lease_path(index).unlink(missing_ok=True)
+        self._leases.release(self._name(index), owner, done=done)
 
     def owner_of(self, index: int) -> Optional[str]:
         """The owner recorded in a shard's lease file, or ``None``."""
 
-        try:
-            payload = json.loads(self.lease_path(index).read_text())
-            return payload.get("owner")
-        except (FileNotFoundError, json.JSONDecodeError):
-            return None
+        return self._leases.owner_of(self._name(index))
 
     # ------------------------------------------------------------------ #
     def state(self, index: int) -> LeaseState:
         """The current :class:`LeaseState` of one shard."""
 
-        self._check_index(index)
-        if self.done_path(index).exists():
-            return LeaseState(index, "done")
-        try:
-            mtime = self.lease_path(index).stat().st_mtime
-        except FileNotFoundError:
-            return LeaseState(index, "open")
-        age = max(0.0, time.time() - mtime)
-        status = "expired" if age > self.ttl_s else "active"
-        return LeaseState(index, status, owner=self.owner_of(index), age_s=age)
+        status, owner, age = self._leases.status_of(self._name(index))
+        return LeaseState(index, status, owner=owner, age_s=age)
 
     def states(self) -> List[LeaseState]:
         return [self.state(index) for index in range(1, self.count + 1)]
@@ -313,39 +370,58 @@ class ShardLedger:
 # --------------------------------------------------------------------------- #
 # Dispatch manifest: the one file a worker needs to join a run.
 # --------------------------------------------------------------------------- #
-def write_manifest(store_dir, space: DesignSpace, *, shards: int,
+def write_manifest(store_dir, space: DesignSpace, *, shards: Optional[int] = None,
                    ttl_s: float = DEFAULT_TTL_S, jobs: int = 1,
-                   throttle_s: float = 0.0) -> Path:
+                   throttle_s: float = 0.0, mode: str = "shards",
+                   strategy: Optional[Dict[str, object]] = None) -> Path:
     """Write ``<store>/dispatch.json`` describing the run (atomic replace).
 
     A worker pointed at the store directory reads everything it needs from
-    this manifest: the space, the shard count, the lease TTL and the
-    per-worker ``jobs``.  Re-preparing an existing dispatch is allowed only
-    if the space and shard count are unchanged (the shard partition must
-    stay stable across resumes); TTL/jobs/throttle may be retuned.
+    this manifest: the space, the coordination ``mode`` (``"shards"`` --
+    static fingerprint-hash shards, the default and the only pre-v3 mode --
+    or ``"adaptive"`` -- workers lease proposal batches written by a
+    strategy proposer, see :mod:`repro.dse.adaptive.protocol`), the shard
+    count (shards mode), the strategy spec (adaptive mode), the lease TTL
+    and the per-worker ``jobs``.  Re-preparing an existing dispatch is
+    allowed only if the space, mode, shard count and strategy are unchanged
+    (the work partition must stay stable across resumes); TTL/jobs/throttle
+    may be retuned.
     """
 
     from repro.io.serialization import SCHEMA_VERSION
 
+    if mode not in ("shards", "adaptive"):
+        raise ValueError(f"unknown dispatch mode {mode!r}; "
+                         f"expected 'shards' or 'adaptive'")
+    if mode == "shards" and shards is None:
+        raise ValueError("shards-mode dispatch needs a shard count")
+    if mode == "adaptive" and strategy is None:
+        raise ValueError("adaptive-mode dispatch needs a strategy spec")
     store_dir = Path(store_dir)
     store_dir.mkdir(parents=True, exist_ok=True)
     path = store_dir / MANIFEST_NAME
     manifest = {
         "schema_version": SCHEMA_VERSION,
         "space": space.to_dict(),
-        "shards": int(shards),
+        "mode": mode,
         "ttl_s": float(ttl_s),
         "jobs": int(jobs),
         "throttle_s": float(throttle_s),
     }
+    if shards is not None:
+        manifest["shards"] = int(shards)
+    if strategy is not None:
+        manifest["strategy"] = dict(strategy)
     if path.exists():
         existing = read_manifest(store_dir)
         if (existing.get("space") != manifest["space"]
-                or existing.get("shards") != manifest["shards"]):
+                or existing.get("mode", "shards") != mode
+                or existing.get("shards") != manifest.get("shards")
+                or existing.get("strategy") != manifest.get("strategy")):
             raise ValueError(
-                f"{path} already describes a different dispatch (space or "
-                f"shard count differs); use a fresh store directory, or "
-                f"delete the manifest to redefine the run")
+                f"{path} already describes a different dispatch (space, "
+                f"mode, shard count or strategy differs); use a fresh store "
+                f"directory, or delete the manifest to redefine the run")
     tmp = store_dir / f".{MANIFEST_NAME}.{default_owner()}.tmp"
     tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, path)
@@ -376,9 +452,16 @@ def read_manifest(store_dir) -> Dict:
 def run_worker(store_dir, *, owner: Optional[str] = None,
                jobs: Optional[int] = None, circuits=None,
                idle_wait_s: Optional[float] = None) -> Dict[str, object]:
-    """Lease and evaluate shards from ``store_dir`` until the run completes.
+    """Lease and evaluate work from ``store_dir`` until the run completes.
 
-    The loop: claim a shard, open a *fresh* store view (so rows flushed by
+    The dispatch manifest decides the coordination mode: static shards
+    (below) or, for ``mode: "adaptive"`` manifests, proposal batches written
+    by a strategy proposer -- the worker then delegates to
+    :func:`repro.dse.adaptive.protocol.run_adaptive_worker`, so every
+    worker, local or remote, joins either kind of run through this one
+    entry point.
+
+    The shards-mode loop: claim a shard, open a *fresh* store view (so rows flushed by
     other workers -- including a dead worker's partial shard file -- replay
     instead of recomputing), evaluate the shard's points with a heartbeat
     after every persisted task group, mark the shard done, repeat.  When
@@ -398,6 +481,12 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
 
     store_dir = Path(store_dir)
     manifest = read_manifest(store_dir)
+    if manifest.get("mode", "shards") == "adaptive":
+        from repro.dse.adaptive.protocol import run_adaptive_worker
+
+        return run_adaptive_worker(store_dir, manifest=manifest, owner=owner,
+                                   jobs=jobs, circuits=circuits,
+                                   idle_wait_s=idle_wait_s)
     space = DesignSpace.from_dict(manifest["space"])
     ledger = ShardLedger.for_store(store_dir, manifest["shards"],
                                    ttl_s=manifest.get("ttl_s", DEFAULT_TTL_S))
@@ -449,6 +538,34 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
         ledger.release(shard.index, owner, done=True)
         completed.append(shard.index)
     return {"owner": owner, "completed": completed, "lost": lost}
+
+
+def worker_argv(store_dir) -> List[str]:
+    """argv of one ``repro dse worker`` process for a store.
+
+    The single source of truth for the worker launch command: local spawns
+    (:func:`spawn_worker_process`) and the printed remote command lines
+    both derive from it, so they cannot drift apart.
+    """
+
+    return [sys.executable, "-m", "repro", "dse", "worker",
+            "--store", str(store_dir)]
+
+
+def spawn_worker_process(store_dir) -> subprocess.Popen:
+    """Start one local ``repro dse worker`` subprocess against a store.
+
+    The worker reads everything else from the dispatch manifest, so the same
+    spawn works for shard-mode and adaptive-mode runs.  ``repro`` is made
+    importable through the subprocess environment.
+    """
+
+    env = os.environ.copy()
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (package_root if not existing
+                         else package_root + os.pathsep + existing)
+    return subprocess.Popen(worker_argv(store_dir), env=env)
 
 
 # --------------------------------------------------------------------------- #
@@ -543,6 +660,7 @@ class Dispatcher:
         self.ledger = ShardLedger.for_store(self.store_dir, self.shards,
                                             ttl_s=self.ttl_s)
         self._procs: List[subprocess.Popen] = []
+        self._progress_store: Optional[ExperimentStore] = None
 
     # ------------------------------------------------------------------ #
     def prepare(self) -> Path:
@@ -555,36 +673,42 @@ class Dispatcher:
     def worker_command(self) -> List[str]:
         """argv for one local worker subprocess."""
 
-        return [sys.executable, "-m", "repro", "dse", "worker",
-                "--store", str(self.store_dir)]
+        return worker_argv(self.store_dir)
 
     def command_lines(self) -> List[str]:
         """Shell commands for launching the workers on remote machines.
 
         Every machine that mounts the store directory runs the same
         command; workers coordinate purely through the ledger, so any
-        number may join or die at any time.
+        number may join or die at any time.  Derived from
+        :func:`worker_argv` with a portable ``python`` in place of this
+        machine's interpreter path.
         """
 
-        command = " ".join(["python", "-m", "repro", "dse", "worker",
-                            "--store", shlex.quote(str(self.store_dir))])
+        argv = ["python"] + worker_argv(self.store_dir)[1:]
+        command = " ".join(shlex.quote(arg) for arg in argv)
         return [command] * self.workers
 
     def spawn_worker(self) -> subprocess.Popen:
         """Start one local worker subprocess (repro importable via env)."""
 
-        env = os.environ.copy()
-        package_root = str(Path(__file__).resolve().parents[2])
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (package_root if not existing
-                             else package_root + os.pathsep + existing)
-        return subprocess.Popen(self.worker_command(), env=env)
+        return spawn_worker_process(self.store_dir)
 
     # ------------------------------------------------------------------ #
     def progress(self) -> Dict[str, object]:
-        """One snapshot: point counts, shard states and the wall_s-driven ETA."""
+        """One snapshot: point counts, shard states and the wall_s-driven ETA.
 
-        store = ExperimentStore(self.store_dir)
+        The store view is kept open across snapshots and refreshed with the
+        incremental :meth:`~repro.dse.store.ExperimentStore.reload`, so a
+        progress tick costs O(rows appended since the last tick) -- not a
+        full re-parse of the directory.
+        """
+
+        if self._progress_store is None:
+            self._progress_store = ExperimentStore(self.store_dir)
+        else:
+            self._progress_store.reload()
+        store = self._progress_store
         counts = self.ledger.status_counts()
         total = self.space.size
         done_points = len(store)

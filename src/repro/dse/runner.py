@@ -142,6 +142,11 @@ class DSERunner:
         self._circuit_memo: Dict[Tuple[str, Optional[int]], Circuit] = {}
         self._fingerprint_memo: Dict[DesignPoint, str] = {}
         self.stats = {"evaluated": 0, "reused": 0, "skipped": 0}
+        #: Active provenance context (strategy name, seed, rung): stamped
+        #: into every store row this runner persists (schema v3).  Set by
+        #: strategies and the adaptive worker loop; ``None`` leaves rows
+        #: provenance-free (direct evaluations, pre-v3 behaviour).
+        self.provenance: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     def circuit_for(self, app: str, qubits: Optional[int]) -> Circuit:
@@ -244,7 +249,8 @@ class DSERunner:
                 results[index] = record
                 self.stats["evaluated"] += 1
                 self.store.add(record_to_row(fingerprints[index],
-                                             points[index], record))
+                                             points[index], record,
+                                             provenance=self.provenance))
             if self.heartbeat is not None:
                 self.heartbeat()
 
@@ -269,5 +275,12 @@ class DSERunner:
         if self.shard is not None and not strategy.shardable:
             raise ValueError(
                 f"strategy {strategy.name!r} adapts to earlier results and "
-                f"cannot be sharded; run it unsharded (or shard grid/random)")
-        return strategy.run(self)
+                f"cannot be sharded; run it unsharded (or shard grid/random, "
+                f"or distribute adaptive search with "
+                f"`repro dse dispatch --strategy {strategy.name}`)")
+        try:
+            return strategy.run(self)
+        finally:
+            # The strategy's provenance context ends with the run: a later
+            # direct evaluate() must not stamp rows it never proposed.
+            self.provenance = None

@@ -23,10 +23,20 @@ double), which is what keeps store-routed figure sweeps golden-identical to
 direct runs.
 
 Since schema v2, rows also record the per-point ``wall_s`` evaluation time
-(driving ``dse status --eta`` and the dispatcher's progress watch); being
-per-run noise, it is stripped from :meth:`ExperimentStore.export_rows`, the
-canonical export used to check that sharded/dispatched runs match serial
-ones byte-for-byte.
+(driving ``dse status --eta`` and the dispatcher's progress watch); since
+schema v3 they may also record **provenance** -- which strategy proposed the
+point, under which seed, at which multi-fidelity rung.  Both describe *how*
+a row was produced rather than *what* the design point is, so both are
+stripped from :meth:`ExperimentStore.export_rows`, the canonical export used
+to check that sharded/dispatched/adaptive runs match serial ones
+byte-for-byte across schema generations.
+
+Reloads are incremental: the store tracks a per-file byte offset (advanced
+only past newline-terminated lines) and :meth:`ExperimentStore.reload` reads
+just the appended suffix of each file -- O(new rows), which is what keeps
+the dispatcher's progress ticks and the adaptive proposer's ingest loop
+cheap at paper scale.  A tracked file that shrinks below its consumed offset
+or disappears triggers the full-rescan fallback.
 """
 
 from __future__ import annotations
@@ -43,13 +53,15 @@ from repro.dse.space import DesignPoint, point_from_spec
 DEFAULT_WRITER = "results"
 
 #: Row keys that describe *one particular run or writer* rather than the
-#: design point itself: wall timings differ run to run, and the stamped
-#: schema generation differs when an old store is resumed under a newer
-#: build.  They are excluded from canonical exports so that two stores of
-#: the same space -- serial, sharded, dispatched, resumed, mixed-version --
-#: export byte-identically (the export payload carries its own top-level
+#: design point itself: wall timings differ run to run, the stamped schema
+#: generation differs when an old store is resumed under a newer build, and
+#: the provenance stamp (strategy/seed/rung, schema v3) records who asked
+#: for the point, not what it is.  They are excluded from canonical exports
+#: so that two stores of the same evaluated space -- serial, sharded,
+#: dispatched, resumed, mixed-version, grid or adaptive -- export
+#: byte-identically (the export payload carries its own top-level
 #: ``schema_version``).
-VOLATILE_ROW_KEYS = frozenset({"wall_s", "schema_version"})
+VOLATILE_ROW_KEYS = frozenset({"wall_s", "schema_version", "provenance"})
 
 #: Keys a row must carry to be replayable.  A partially copied shard file can
 #: tear a line into valid-but-incomplete JSON; such rows are skipped with a
@@ -137,12 +149,13 @@ class CachedRecord:
     """
 
     __slots__ = ("point", "application", "result", "program_size",
-                 "num_shuttles", "wall_s")
+                 "num_shuttles", "wall_s", "provenance")
 
     def __init__(self, point: DesignPoint, application: str,
                  metrics: Dict[str, float],
                  program_size: int, num_shuttles: int,
-                 wall_s: Optional[float] = None) -> None:
+                 wall_s: Optional[float] = None,
+                 provenance: Optional[Dict[str, object]] = None) -> None:
         self.point = point
         # The circuit's own name (e.g. "qft64"), which can differ from the
         # suite key the point addresses it by (e.g. "QFT").
@@ -154,6 +167,9 @@ class CachedRecord:
         # written before schema v2 (unknown, deliberately not zero -- ETA
         # math must ignore them, not average them in).
         self.wall_s = wall_s
+        # Who asked for the point: strategy name, seed and multi-fidelity
+        # rung (schema v3); ``None`` for older rows or direct evaluations.
+        self.provenance = provenance
 
     @property
     def config(self):
@@ -192,14 +208,19 @@ def row_to_record(row: Dict[str, object]) -> CachedRecord:
         program_size=row["program_ops"],
         num_shuttles=row["shuttles"],
         wall_s=row.get("wall_s"),
+        provenance=row.get("provenance"),
     )
 
 
-def record_to_row(fingerprint: str, point: DesignPoint, record) -> Dict[str, object]:
+def record_to_row(fingerprint: str, point: DesignPoint, record, *,
+                  provenance: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     """Serialise one evaluated point (live or cached record) to a store row.
 
     The ``wall_s`` timing is recorded only when the record carries one;
     replays of pre-v2 rows stay timing-free rather than gaining a fake zero.
+    Likewise the provenance stamp (strategy/seed/rung, schema v3): it comes
+    from the caller (the runner's active strategy context) or, for replays,
+    from the record itself; rows never gain an invented provenance.
     """
 
     from repro.io.serialization import SCHEMA_VERSION
@@ -216,6 +237,10 @@ def record_to_row(fingerprint: str, point: DesignPoint, record) -> Dict[str, obj
     wall_s = getattr(record, "wall_s", None)
     if wall_s is not None:
         row["wall_s"] = wall_s
+    if provenance is None:
+        provenance = getattr(record, "provenance", None)
+    if provenance:
+        row["provenance"] = {key: provenance[key] for key in sorted(provenance)}
     return row
 
 
@@ -233,40 +258,126 @@ class ExperimentStore:
         self._rows: Dict[str, Dict] = {}
         self._sources: Dict[str, str] = {}
         self._handle = None
-        self.skipped_lines = 0
+        # Permanent skips: newline-terminated lines that failed to load.
+        # Unterminated tails are tracked separately (``_tail_skips``): they
+        # are usually a writer's *in-flight* line, so their skip is
+        # tentative -- it evaporates when a later scan finds the line
+        # completed -- and must not accumulate across reload ticks.
+        self._skipped = 0
+        self._tail_skips: Dict[str, bool] = {}
+        # Incremental-reload bookkeeping, all keyed by file name: bytes
+        # consumed (advanced only past newline-terminated lines), lines
+        # consumed (for warning positions), the last unterminated tail
+        # examined (so an in-flight torn line is not re-processed or
+        # recounted on every tick), and any deferred mid-file corruption
+        # warning whose "is it really mid-file?" proof may arrive in a
+        # later chunk.  The file size at the last scan -- the unchanged
+        # fast path's comparand -- is derived, not stored:
+        # ``_known_size() == offset + len(tail)`` by construction.
+        self._offsets: Dict[str, int] = {}
+        self._linenos: Dict[str, int] = {}
+        self._tails: Dict[str, bytes] = {}
+        self._pending_warn: Dict[str, tuple] = {}
+        #: Observability counters for the reload path: ``full_scans`` counts
+        #: directory-wide rescans (initial load included), ``files_scanned``
+        #: counts files actually opened and parsed, ``files_unchanged``
+        #: counts files skipped by the size fast path, ``bytes_read`` the
+        #: bytes parsed.  The incremental-reload tests pin the O(new rows)
+        #: behaviour on these.
+        self.scan_stats = {"full_scans": 0, "files_scanned": 0,
+                           "files_unchanged": 0, "bytes_read": 0}
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._load()
 
     # ------------------------------------------------------------------ #
     def _load(self) -> None:
+        self.scan_stats["full_scans"] += 1
+        for path in sorted(self.directory.glob("*.jsonl")):
+            try:
+                self._scan_file(path)
+            except FileNotFoundError:
+                continue  # deleted between glob and open
+
+    def _known_size(self, name: str) -> int:
+        """File size as of the last scan: consumed bytes plus the seen tail."""
+
+        return self._offsets.get(name, 0) + len(self._tails.get(name, b""))
+
+    def _scan_file(self, path: Path) -> None:
+        """Parse the unconsumed suffix of one store file.
+
+        A broken *trailing* line is the expected artifact of a killed (or
+        still-appending) writer -- the designed resume-after-kill path --
+        and is skipped silently.  A broken line anywhere else means real
+        corruption (e.g. a partially copied shard file) and is worth a
+        warning.  Both are skipped, never aborted on; the warning for a
+        skip is therefore deferred until a later non-empty line proves the
+        skip was mid-file -- possibly in a later incremental scan.
+        ``errors="replace"`` keeps a partially copied (even binary-torn)
+        file decodable; the mangled lines then fail JSON parsing and are
+        skipped like any other corrupt line.
+
+        The consumed byte offset advances only past newline-terminated
+        lines.  An unterminated tail is still examined (a complete JSON row
+        whose newline the kill ate is indexed; a fragment is counted as
+        skipped) but never consumed, so once the writer terminates or heals
+        it the next scan re-reads that region and picks up the final truth.
+        """
+
         from repro.io.serialization import check_schema_version
 
-        for path in sorted(self.directory.glob("*.jsonl")):
-            # A broken *trailing* line is the expected artifact of a killed
-            # (or still-appending) writer -- the designed resume-after-kill
-            # path -- and is skipped silently.  A broken line anywhere else
-            # means real corruption (e.g. a partially copied shard file) and
-            # is worth a warning.  Both are skipped, never aborted on; the
-            # warning for a skip is therefore deferred until a later
-            # non-empty line proves the skip was mid-file.
-            # ``errors="replace"`` keeps a partially copied (even
-            # binary-torn) file decodable; the mangled lines then fail JSON
-            # parsing and are skipped like any other corrupt line.
-            pending_warning = None
-            with open(path, errors="replace") as handle:
-                for lineno, raw in enumerate(handle, 1):
-                    line = raw.strip()
-                    if not line:
-                        continue
-                    if pending_warning is not None:
-                        self._warn_skip(path, *pending_warning)
-                        pending_warning = None
-                    reason = self._ingest_line(path, lineno, line,
+        name = path.name
+        start = self._offsets.get(name, 0)
+        size = path.stat().st_size
+        if name in self._offsets and size == self._known_size(name):
+            self.scan_stats["files_unchanged"] += 1
+            return
+        with open(path, "rb") as handle:
+            handle.seek(start)
+            data = handle.read()
+        self.scan_stats["files_scanned"] += 1
+        self.scan_stats["bytes_read"] += len(data)
+        cut = data.rfind(b"\n") + 1  # 0 when the chunk holds no newline
+        chunk, tail = data[:cut], data[cut:]
+        lineno = self._linenos.get(name, 0)
+        pending = self._pending_warn.pop(name, None)
+        for raw in chunk.decode(errors="replace").split("\n")[:-1]:
+            lineno += 1
+            line = raw.strip()
+            if not line:
+                continue
+            if pending is not None:
+                self._warn_skip(path, *pending)
+                pending = None
+            reason = self._ingest_line(path, lineno, line,
+                                       check_schema_version)
+            if reason is not None:
+                self._skipped += 1
+                pending = (lineno, reason)
+        self._offsets[name] = start + cut
+        self._linenos[name] = lineno
+        if tail != self._tails.get(name):
+            # The tail region was re-read, so any previous tentative skip
+            # for it is superseded by what this scan finds.
+            self._tail_skips.pop(name, None)
+            if tail:
+                self._tails[name] = tail
+                text = tail.decode(errors="replace").strip()
+                if text:
+                    # A non-empty tail is a *later* line: it proves any
+                    # pending skip above it was mid-file, so warn now.
+                    if pending is not None:
+                        self._warn_skip(path, *pending)
+                        pending = None
+                    reason = self._ingest_line(path, lineno + 1, text,
                                                check_schema_version)
                     if reason is not None:
-                        self.skipped_lines += 1
-                        pending_warning = (lineno, reason)
+                        self._tail_skips[name] = True
+            else:
+                self._tails.pop(name, None)
+        if pending is not None:
+            self._pending_warn[name] = pending
 
     def _ingest_line(self, path: Path, lineno: int, line: str,
                      check_schema_version) -> Optional[str]:
@@ -302,18 +413,67 @@ class ExperimentStore:
                       f"{reason}", StoreCorruptionWarning, stacklevel=4)
 
     def reload(self) -> None:
-        """Re-read the directory (pick up rows appended by other writers)."""
+        """Pick up rows appended by other writers, in O(new rows).
+
+        Each tracked file is stat'ed; unchanged files are not even opened,
+        grown files are parsed from their consumed byte offset.  Rows are
+        append-only, so incremental ingestion and a from-scratch reload
+        agree -- except when a tracked file shrank below its offset or
+        disappeared (history rewritten: a healed torn tail, a deleted
+        shard), which falls back to a full rescan of the directory.
+        """
+
+        if self.directory is None:
+            return
+        paths = sorted(self.directory.glob("*.jsonl"))
+        names = {path.name for path in paths}
+        rescan = any(name not in names for name in self._offsets)
+        if not rescan:
+            for path in paths:
+                try:
+                    if path.stat().st_size < self._offsets.get(path.name, 0):
+                        rescan = True
+                        break
+                except FileNotFoundError:
+                    rescan = True
+                    break
+        if rescan:
+            self._full_rescan()
+            return
+        for path in paths:
+            try:
+                self._scan_file(path)
+            except FileNotFoundError:
+                self._full_rescan()
+                return
+
+    def _full_rescan(self) -> None:
+        """Drop all indexed state and re-read the directory from scratch."""
 
         if self._handle is not None:
             self._handle.close()
             self._handle = None
         self._rows.clear()
         self._sources.clear()
-        self.skipped_lines = 0
-        if self.directory is not None:
-            self._load()
+        self._offsets.clear()
+        self._linenos.clear()
+        self._tails.clear()
+        self._tail_skips.clear()
+        self._pending_warn.clear()
+        self._skipped = 0
+        self._load()
 
     # ------------------------------------------------------------------ #
+    @property
+    def skipped_lines(self) -> int:
+        """Lines that could not be loaded: permanent skips plus any file's
+        current unterminated-and-unparseable tail (an in-flight or torn
+        trailing write, counted once and uncounted if a later scan finds
+        the line completed)."""
+
+        return self._skipped + sum(1 for skip in self._tail_skips.values()
+                                   if skip)
+
     def __len__(self) -> int:
         return len(self._rows)
 
@@ -401,7 +561,16 @@ class ExperimentStore:
                 self._handle = self._open_writer()
             self._handle.write(json.dumps(row, sort_keys=True) + "\n")
             self._handle.flush()
-            self._sources[fingerprint] = self.writer_path.name
+            name = self.writer_path.name
+            self._sources[fingerprint] = name
+            # Our own appends are already indexed: advance the incremental-
+            # reload cursor past them so reload() only parses *other*
+            # writers' rows.  Opening the writer also healed any torn tail
+            # the file carried, so its tentative skip is gone with it.
+            self._offsets[name] = self._handle.tell()
+            self._linenos[name] = self._linenos.get(name, 0) + 1
+            self._tails.pop(name, None)
+            self._tail_skips.pop(name, None)
         else:
             self._sources[fingerprint] = "memory"
         return True

@@ -17,6 +17,19 @@ same points and reports the same best.
 * :class:`SuccessiveHalving` -- rank all candidates on a cheap scaled-down
   proxy suite, keep the top ``1/eta``, grow the proxy, and only evaluate the
   survivors at full scale.
+* :class:`BayesianOptimization` -- surrogate-guided batch search
+  (:class:`~repro.dse.adaptive.propose.BayesProposer`): seeded random
+  initialisation, then expected-improvement/UCB batches under an
+  incremental surrogate model, within a budget of a quarter of the grid.
+* :class:`AdaptiveHalving` -- the multi-fidelity proxy ladder with
+  surrogate-ranked promotion instead of a fixed eta
+  (:class:`~repro.dse.adaptive.propose.AdaptiveHalvingProposer`).
+
+Every strategy stamps its provenance (name, seed, multi-fidelity rung) into
+the rows it persists (schema v3), so ``dse status --by-strategy`` can
+attribute stored points.  The two adaptive strategies can additionally run
+distributed through the propose/evaluate ledger (``repro dse dispatch
+--strategy bayes``); the proposal sequence is identical either way.
 """
 
 from __future__ import annotations
@@ -30,7 +43,11 @@ from repro.dse.pareto import OBJECTIVES, best_record, objective_value
 from repro.dse.space import AXES
 
 #: CLI names of the built-in strategies.
-STRATEGY_NAMES = ("grid", "random", "greedy", "halving")
+STRATEGY_NAMES = ("grid", "random", "greedy", "halving", "bayes",
+                  "adaptive-halving")
+
+#: Strategies that run distributed through the propose/evaluate ledger.
+ADAPTIVE_STRATEGY_NAMES = ("bayes", "adaptive-halving")
 
 
 @dataclass
@@ -72,6 +89,13 @@ class Strategy:
     def run(self, runner) -> StrategyResult:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def provenance(self, *, rung: Optional[int] = None,
+                   proxy_qubits: Optional[int] = None) -> Dict[str, object]:
+        """The provenance stamp for rows this strategy asks to evaluate."""
+
+        return {"strategy": self.name, "seed": getattr(self, "seed", None),
+                "rung": rung, "proxy_qubits": proxy_qubits}
+
     def _result(self, records: List[object],
                 trace: Optional[List[Dict[str, object]]] = None) -> StrategyResult:
         live = [record for record in records if record is not None]
@@ -90,6 +114,7 @@ class ExhaustiveGrid(Strategy):
     shardable = True
 
     def run(self, runner) -> StrategyResult:
+        runner.provenance = self.provenance()
         records = runner.evaluate(list(runner.space.points()))
         return self._result(records)
 
@@ -113,6 +138,7 @@ class RandomSampling(Strategy):
         self.seed = seed
 
     def run(self, runner) -> StrategyResult:
+        runner.provenance = self.provenance()
         all_points = list(runner.space.points())
         rng = random.Random(self.seed)
         count = min(self.samples, len(all_points))
@@ -145,6 +171,7 @@ class CoordinateDescent(Strategy):
         self.max_rounds = max_rounds
 
     def run(self, runner) -> StrategyResult:
+        runner.provenance = self.provenance()
         space = runner.space
         rng = random.Random(self.seed)
         coords = {axis: rng.choice(space.axis_values(axis)) for axis in AXES}
@@ -231,6 +258,7 @@ class SuccessiveHalving(Strategy):
         while len(candidates) > self.min_survivors and \
                 (size_cap is None or size < size_cap):
             proxies = [point.with_qubits(size) for point in candidates]
+            runner.provenance = self.provenance(rung=rung, proxy_qubits=size)
             records = runner.evaluate(proxies)
             all_records.extend(records)
             ranked = sorted(range(len(candidates)),
@@ -244,6 +272,7 @@ class SuccessiveHalving(Strategy):
             size *= 2
             rung += 1
 
+        runner.provenance = self.provenance(rung=rung)
         finals = runner.evaluate(candidates)
         all_records.extend(finals)
         trace.append({"rung": rung, "proxy_qubits": None,
@@ -253,9 +282,118 @@ class SuccessiveHalving(Strategy):
         return result
 
 
+class _ProposerStrategy(Strategy):
+    """Shared driver for proposer-backed (adaptive) strategies.
+
+    The strategy side is thin by design: :meth:`run` alternates the
+    proposer's ``next_batch``/``ingest`` with the runner's ``evaluate``,
+    which is *exactly* the loop :func:`repro.dse.adaptive.protocol.run_proposer`
+    drives over the distributed ledger -- one proposer implementation, two
+    executors, identical proposal sequences.
+    """
+
+    shardable = False
+
+    def make_proposer(self, space):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def run(self, runner) -> StrategyResult:
+        proposer = self.make_proposer(runner.space)
+        records: List[object] = []
+        trace: List[Dict[str, object]] = []
+        # Latest record per candidate key: for multi-fidelity proposers the
+        # last write is the full-scale rung, which is what best() names.
+        key_record: Dict[object, object] = {}
+        while True:
+            batch = proposer.next_batch()
+            if batch is None:
+                break
+            runner.provenance = self.provenance(
+                rung=batch.rung, proxy_qubits=batch.proxy_qubits)
+            evaluated = runner.evaluate(list(batch.points))
+            proposer.ingest(batch, [objective_value(record, self.metric)
+                                    for record in evaluated])
+            for key, record in zip(batch.keys, evaluated):
+                key_record[key] = record
+            records.extend(evaluated)
+            trace.append(proposer.trace_entry(batch))
+        result = self._result(records, trace)
+        best = proposer.best()
+        if best is not None:
+            result.best = key_record[best[0]]
+        return result
+
+
+class BayesianOptimization(_ProposerStrategy):
+    """Surrogate-guided batch Bayesian optimization over the space.
+
+    A seeded random initial batch, then batches of the best acquisition
+    scorers (expected improvement by default) under an incremental
+    surrogate (random-Fourier-feature ridge regression or a bagged tree
+    ensemble), within an evaluation budget defaulting to a quarter of the
+    grid.  Deterministic for a fixed seed, for any ``jobs`` value, and for
+    distributed propose/evaluate runs.
+    """
+
+    name = "bayes"
+
+    def __init__(self, seed: int = 0, metric: str = "fidelity",
+                 batch_size: int = 4, max_evals: Optional[int] = None,
+                 surrogate: str = "rff", acquisition: str = "ei") -> None:
+        super().__init__(metric)
+        self.seed = seed
+        self.batch_size = batch_size
+        self.max_evals = max_evals
+        self.surrogate = surrogate
+        self.acquisition = acquisition
+
+    def make_proposer(self, space):
+        from repro.dse.adaptive.propose import BayesProposer
+
+        return BayesProposer(space, seed=self.seed, metric=self.metric,
+                             batch_size=self.batch_size,
+                             max_evals=self.max_evals,
+                             surrogate=self.surrogate,
+                             acquisition=self.acquisition)
+
+
+class AdaptiveHalving(_ProposerStrategy):
+    """Multi-fidelity proxy ladder with surrogate-ranked promotion.
+
+    Like :class:`SuccessiveHalving`, candidates climb the scaled-proxy
+    ladder -- but each rung's survivors are the candidates whose surrogate
+    upper confidence bound still reaches the rung's best observed score
+    (capped at half the rung, floored at ``min_survivors``), instead of a
+    fixed ``1/eta`` fraction.
+    """
+
+    name = "adaptive-halving"
+
+    def __init__(self, seed: int = 0, metric: str = "fidelity",
+                 proxy_qubits: int = 12, surrogate: str = "trees",
+                 min_survivors: int = 1) -> None:
+        super().__init__(metric)
+        self.seed = seed
+        self.proxy_qubits = proxy_qubits
+        self.surrogate = surrogate
+        self.min_survivors = min_survivors
+
+    def make_proposer(self, space):
+        from repro.dse.adaptive.propose import AdaptiveHalvingProposer
+
+        return AdaptiveHalvingProposer(space, seed=self.seed,
+                                       metric=self.metric,
+                                       proxy_qubits=self.proxy_qubits,
+                                       surrogate=self.surrogate,
+                                       min_survivors=self.min_survivors)
+
+
 def make_strategy(name: str, *, seed: int = 0, metric: str = "fidelity",
                   samples: Optional[int] = None,
-                  proxy_qubits: int = 12) -> Strategy:
+                  proxy_qubits: int = 12,
+                  batch_size: int = 4,
+                  max_evals: Optional[int] = None,
+                  surrogate: Optional[str] = None) -> Strategy:
     """Build a strategy from its CLI name and knobs."""
 
     if name == "grid":
@@ -269,4 +407,13 @@ def make_strategy(name: str, *, seed: int = 0, metric: str = "fidelity",
     if name == "halving":
         return SuccessiveHalving(seed=seed, metric=metric,
                                  proxy_qubits=proxy_qubits)
+    if name == "bayes":
+        return BayesianOptimization(seed=seed, metric=metric,
+                                    batch_size=batch_size,
+                                    max_evals=max_evals,
+                                    surrogate=surrogate or "rff")
+    if name == "adaptive-halving":
+        return AdaptiveHalving(seed=seed, metric=metric,
+                               proxy_qubits=proxy_qubits,
+                               surrogate=surrogate or "trees")
     raise ValueError(f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}")

@@ -46,8 +46,12 @@ from repro.toolflow.runner import ExperimentRecord
 #: History: 1 = first versioned format; 2 = experiment-store rows may carry a
 #: per-point ``wall_s`` timing (absent in v1 rows, which still load -- missing
 #: timings are treated as unknown, never as zero; the bump is what lets
-#: timing-aware tooling tell the two generations apart).
-SCHEMA_VERSION = 2
+#: timing-aware tooling tell the two generations apart); 3 = experiment-store
+#: rows may carry a ``provenance`` stamp (strategy name, seed, multi-fidelity
+#: rung) and dispatch manifests may declare a coordination ``mode``
+#: (``"shards"`` or ``"adaptive"`` propose/evaluate) -- v1/v2 artefacts still
+#: load with provenance absent and mode defaulting to shards.
+SCHEMA_VERSION = 3
 
 
 def check_schema_version(payload: Dict, *, source: str = "payload") -> int:

@@ -247,13 +247,16 @@ def shard_worker(store_dir, *, owner: Optional[str] = None,
     """Entry point for one dispatched DSE worker process.
 
     This is what ``python -m repro dse worker --store DIR`` (and the
-    dispatcher's locally spawned subprocesses) execute: read the dispatch
-    manifest from the store directory, then lease shards from the
-    :class:`~repro.dse.dispatch.ShardLedger` one at a time -- evaluating each
-    with lease-renewal heartbeats and marking it done -- until no claimable
-    shard remains.  All coordination logic lives in
-    :mod:`repro.dse.dispatch`; this function is the process-level entry so
-    every worker, local or remote, starts the same way.
+    dispatchers' locally spawned subprocesses) execute: read the dispatch
+    manifest from the store directory, then lease work one unit at a time
+    -- static shards from the :class:`~repro.dse.dispatch.ShardLedger`, or
+    proposal batches from the adaptive
+    :class:`~repro.dse.adaptive.protocol.ProposalLedger` when the manifest
+    declares ``mode: "adaptive"`` -- evaluating each with lease-renewal
+    heartbeats and marking it done, until the run completes.  All
+    coordination logic lives in :mod:`repro.dse.dispatch` and
+    :mod:`repro.dse.adaptive.protocol`; this function is the process-level
+    entry so every worker, local or remote, starts the same way.
 
     Returns the worker summary of :func:`repro.dse.dispatch.run_worker`.
     """
