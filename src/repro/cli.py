@@ -51,9 +51,18 @@ Custom design-space studies run through the ``dse`` family (quickstart)::
     python -m repro dse propose --store runs/study   # remote: proposer
     python -m repro dse worker --store runs/study    # remote: per host
 
+    # Multi-objective: search the Pareto frontier (fidelity x runtime, or
+    # any subset of fidelity,runtime,comm_fraction,shuttles_per_2q)
+    # directly instead of recovering it from the grid -- also
+    # dispatchable, with byte-identical exports:
+    python -m repro dse run --space space.json --store runs/study \\
+        --strategy ehvi --objectives fidelity,runtime --seed 9
+
     # Inspect, rank, export:
     python -m repro dse status --store runs/study --eta
     python -m repro dse pareto --store runs/study --app qft16
+    python -m repro dse pareto --store runs/study --objectives \\
+        fidelity,runtime,shuttles_per_2q --hypervolume --output cloud.csv
     python -m repro dse export --store runs/study --output study.json
 
 Every subcommand prints human-readable text; ``--output`` additionally writes
@@ -171,6 +180,12 @@ def _comma_ints(text: str):
         raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
 
 
+#: Objective names offered by --metric/--objectives (mirrors
+#: repro.dse.pareto.OBJECTIVES without importing the dse package at parser
+#: build time).
+_OBJECTIVES = ("fidelity", "runtime", "comm_fraction", "shuttles_per_2q")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,14 +287,20 @@ def _add_dse_parsers(subparsers) -> None:
                           "in-memory run)")
     run.add_argument("--strategy", default="grid",
                      choices=["grid", "random", "greedy", "halving", "bayes",
-                              "adaptive-halving"],
-                     help="search strategy (default: grid = exhaustive)")
+                              "adaptive-halving", "ehvi", "parego"],
+                     help="search strategy (default: grid = exhaustive; "
+                          "ehvi/parego search the Pareto frontier of "
+                          "--objectives directly)")
     run.add_argument("--seed", type=int, default=0,
                      help="random seed for the seeded strategies (default: 0)")
     run.add_argument("--samples", type=_positive_int, default=None,
                      help="points to draw for --strategy random")
-    run.add_argument("--metric", default="fidelity", choices=["fidelity", "runtime"],
+    run.add_argument("--metric", default="fidelity", choices=list(_OBJECTIVES),
                      help="objective to optimise (default: fidelity)")
+    run.add_argument("--objectives", type=_comma_list, default=None,
+                     help="comma-separated objective vector for the "
+                          "multi-objective strategies (ehvi/parego), e.g. "
+                          "fidelity,runtime (default: fidelity,runtime)")
     run.add_argument("--proxy-qubits", type=_positive_int, default=12,
                      help="starting proxy size for --strategy "
                           "halving/adaptive-halving (default: 12)")
@@ -319,17 +340,22 @@ def _add_dse_parsers(subparsers) -> None:
                           help="experiment-store directory shared by all "
                                "workers (dedicated to this study)")
     dispatch.add_argument("--strategy", default="grid",
-                          choices=["grid", "bayes", "adaptive-halving"],
+                          choices=["grid", "bayes", "adaptive-halving",
+                                   "ehvi", "parego"],
                           help="grid = static leased shards (default); "
-                               "bayes/adaptive-halving = the propose/"
-                               "evaluate protocol (this process runs the "
-                               "proposer, workers lease proposal batches)")
+                               "bayes/adaptive-halving/ehvi/parego = the "
+                               "propose/evaluate protocol (this process runs "
+                               "the proposer, workers lease proposal batches)")
     dispatch.add_argument("--seed", type=int, default=0,
                           help="seed for an adaptive --strategy (default: 0)")
     dispatch.add_argument("--metric", default="fidelity",
-                          choices=["fidelity", "runtime"],
+                          choices=list(_OBJECTIVES),
                           help="objective for an adaptive --strategy "
                                "(default: fidelity)")
+    dispatch.add_argument("--objectives", type=_comma_list, default=None,
+                          help="comma-separated objective vector for "
+                               "--strategy ehvi/parego (default: "
+                               "fidelity,runtime)")
     dispatch.add_argument("--batch-size", type=_positive_int, default=4,
                           help="points per proposal batch for --strategy "
                                "bayes (default: 4)")
@@ -413,13 +439,21 @@ def _add_dse_parsers(subparsers) -> None:
                              "provenance): counts and best per strategy")
 
     pareto = dse_sub.add_parser(
-        "pareto", help="fidelity-vs-runtime Pareto frontier of a store")
+        "pareto", help="Pareto frontier (and point cloud) of a store")
     pareto.add_argument("--store", required=True, help="experiment-store directory")
     pareto.add_argument("--app", default=None,
                         help="restrict to one application (circuit name)")
+    pareto.add_argument("--objectives", type=_comma_list, default=None,
+                        help="comma-separated objectives for n-D dominance "
+                             "(default: fidelity,runtime)")
+    pareto.add_argument("--hypervolume", action="store_true",
+                        help="additionally print the normalised hypervolume "
+                             "indicator per application (exact 2-D/3-D)")
     pareto.add_argument("--output", default=None,
-                        help="write the frontier as JSON, or as CSV when the "
-                             "path ends in .csv")
+                        help="write the frontier as JSON, or -- when the "
+                             "path ends in .csv -- the full point cloud as "
+                             "CSV (stable n-D ordering, with a 'dominated' "
+                             "column marking off-frontier points)")
 
     export = dse_sub.add_parser(
         "export", help="merge and export a store as one canonical JSON file")
@@ -564,12 +598,16 @@ def _cmd_dse_run(args) -> int:
                                  proxy_qubits=args.proxy_qubits,
                                  batch_size=args.batch_size,
                                  max_evals=args.max_evals,
-                                 surrogate=args.surrogate)
+                                 surrogate=args.surrogate,
+                                 objectives=args.objectives)
         shard = Shard.parse(args.shard) if args.shard else None
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     store = _open_store(args.store) if args.store else None
 
+    objective_note = (f"objectives {','.join(strategy.objectives)}"
+                      if getattr(strategy, "objectives", None)
+                      else f"metric {args.metric}")
     print(f"Design space: {space.size} points "
           f"({len(space.apps)} apps x {len(space.qubits)} sizes x "
           f"{len(space.topologies)} topologies x "
@@ -578,7 +616,7 @@ def _cmd_dse_run(args) -> int:
     if store is not None:
         print(f"Store       : {store.directory} ({len(store)} points already "
               f"evaluated)")
-    print(f"Strategy    : {strategy.name} (seed {args.seed}, metric {args.metric})"
+    print(f"Strategy    : {strategy.name} (seed {args.seed}, {objective_note})"
           + (f", shard {args.shard}" if shard else ""))
 
     runner = DSERunner(space, store=store, jobs=args.jobs, shard=shard)
@@ -613,6 +651,14 @@ def _cmd_dse_run(args) -> int:
               f"{best_row['gate']}-{best_row['reorder']} "
               f"(fidelity {best_row['fidelity']:.4e}, "
               f"runtime {best_row['duration_s']:.4f} s)")
+    if result.frontier is not None:
+        from repro.dse import records_hypervolume
+
+        hv = records_hypervolume(result.evaluated, strategy.objectives)
+        print(f"\nPareto frontier over ({', '.join(strategy.objectives)}): "
+              f"{len(result.frontier)} points, normalised hypervolume "
+              f"{hv:.6f}")
+        _print_record_table(result.frontier)
     if runner.store.directory is not None:
         runner.store.close()
 
@@ -624,6 +670,10 @@ def _cmd_dse_run(args) -> int:
             "trace": result.trace,
             "records": [record.as_row() for record in evaluated],
         }
+        if result.frontier is not None:
+            payload["strategy"]["objectives"] = list(strategy.objectives)
+            payload["frontier"] = [record.as_row()
+                                   for record in result.frontier]
         if not _write_json(payload, args.output):
             return 1
     return 0
@@ -779,6 +829,13 @@ def _cmd_dse_dispatch(args) -> int:
     from repro.dse.dispatch import DEFAULT_TTL_S, format_eta
 
     space = _space_from_args(args)
+    if args.objectives and args.strategy not in ("ehvi", "parego"):
+        # Same guard as `dse run` (make_strategy): a silently dropped
+        # --objectives would dispatch a scalar search the caller believes
+        # is multi-objective.
+        raise SystemExit(f"error: --objectives only applies to the "
+                         f"multi-objective strategies ('ehvi', 'parego'); "
+                         f"use --metric with {args.strategy!r}")
     if args.strategy != "grid":
         return _dse_dispatch_adaptive(args, space)
     try:
@@ -833,16 +890,40 @@ def _dse_dispatch_adaptive(args, space) -> int:
     from repro.dse import AdaptiveDispatcher
     from repro.dse.dispatch import DEFAULT_TTL_S
 
-    strategy = {"name": args.strategy, "seed": args.seed,
-                "metric": args.metric}
-    if args.strategy == "bayes":
-        strategy["batch_size"] = args.batch_size
+    if args.strategy in ("ehvi", "parego"):
+        from repro.dse import make_strategy
+
+        # Validation (objective names, --metric misuse, batch size) is
+        # make_strategy's -- one guard shared with `dse run`; the resolved
+        # objective list (DEFAULT_OBJECTIVES when the flag is omitted)
+        # comes from the constructed strategy.
+        try:
+            validated = make_strategy(args.strategy, seed=args.seed,
+                                      metric=args.metric,
+                                      batch_size=args.batch_size,
+                                      max_evals=args.max_evals,
+                                      surrogate=args.surrogate,
+                                      objectives=args.objectives)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        strategy = {"name": args.strategy, "seed": args.seed,
+                    "objectives": list(validated.objectives),
+                    "batch_size": args.batch_size}
+        if args.max_evals is not None:
+            strategy["max_evals"] = args.max_evals
+        if args.surrogate is not None:
+            strategy["surrogate"] = args.surrogate
+    elif args.strategy == "bayes":
+        strategy = {"name": args.strategy, "seed": args.seed,
+                    "metric": args.metric, "batch_size": args.batch_size}
         if args.max_evals is not None:
             strategy["max_evals"] = args.max_evals
         if args.surrogate is not None:
             strategy["surrogate"] = args.surrogate
     else:
-        strategy["proxy_qubits"] = args.proxy_qubits
+        strategy = {"name": args.strategy, "seed": args.seed,
+                    "metric": args.metric,
+                    "proxy_qubits": args.proxy_qubits}
         if args.surrogate is not None:
             strategy["surrogate"] = args.surrogate
     try:
@@ -882,10 +963,22 @@ def _dse_dispatch_adaptive(args, space) -> int:
     best = summary.get("best")
     if best is not None:
         config = best["point"]["config"]
+        metric = (strategy["objectives"][0] if "objectives" in strategy
+                  else args.metric)
         print(f"Best point  : {best['point']['app']} on "
               f"{config['topology']}-cap{config['trap_capacity']}-"
               f"{config['gate']}-{config['reorder']} "
-              f"({args.metric} objective {best['value']:.4e})")
+              f"({metric} objective {best['value']:.4e})")
+    frontier = summary.get("frontier")
+    if frontier is not None:
+        print(f"Frontier    : {len(frontier)} non-dominated point(s) over "
+              f"({', '.join(summary.get('objectives', []))})")
+        for entry in frontier:
+            config = entry["point"]["config"]
+            values = ", ".join(f"{value:.4e}" for value in entry["values"])
+            print(f"  {entry['point']['app']} "
+                  f"{config['topology']}-cap{config['trap_capacity']}-"
+                  f"{config['gate']}-{config['reorder']}  [{values}]")
     return 0 if summary["complete"] else 1
 
 
@@ -918,8 +1011,20 @@ def _cmd_dse_worker(args) -> int:
 
 
 def _cmd_dse_pareto(args) -> int:
-    from repro.dse import per_app_frontiers
+    from repro.dse import (
+        cloud_rows,
+        parse_objectives,
+        per_app_frontiers,
+        record_frontier,
+        records_hypervolume,
+    )
 
+    objectives = None
+    if args.objectives:
+        try:
+            objectives = parse_objectives(args.objectives)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
     store = _open_store(args.store)
     records = store.records()
     if args.app:
@@ -928,18 +1033,40 @@ def _cmd_dse_pareto(args) -> int:
             print(f"error: no points for application {args.app!r} in "
                   f"{store.directory}", file=sys.stderr)
             return 1
-    frontiers = per_app_frontiers(records)
+    if objectives is None:
+        # Default view: the classic fidelity-vs-runtime frontier, fastest
+        # first (unchanged output for existing tooling).
+        frontiers = per_app_frontiers(records)
+        label = "fastest first"
+        csv_objectives = ("fidelity", "runtime")
+    else:
+        by_app = {}
+        for record in records:
+            by_app.setdefault(record.application, []).append(record)
+        frontiers = {app: record_frontier(app_records, objectives)
+                     for app, app_records in sorted(by_app.items())}
+        label = f"objectives {','.join(objectives)}, best first"
+        csv_objectives = objectives
     payload = {}
     for app, frontier in frontiers.items():
         print(f"\nPareto frontier for {app} ({len(frontier)} of "
               f"{sum(1 for r in records if r.application == app)} points, "
-              f"fastest first):")
+              f"{label}):")
         _print_record_table(frontier)
+        if args.hypervolume:
+            hv = records_hypervolume(
+                [r for r in records if r.application == app],
+                objectives or ("fidelity", "runtime"))
+            print(f"  normalised hypervolume: {hv:.6f}")
         payload[app] = [record.as_row() for record in frontier]
     if args.output:
         if str(args.output).endswith(".csv"):
-            rows = [row for app in sorted(payload) for row in payload[app]]
-            if not _write_csv(rows, args.output):
+            # The CSV is the *full cloud* in stable n-D order with a
+            # `dominated` column, so downstream tooling can plot every
+            # point and highlight the frontier without re-deriving
+            # dominance.
+            if not _write_csv(cloud_rows(records, csv_objectives),
+                              args.output):
                 return 1
         elif not _write_json(payload, args.output):
             return 1

@@ -27,6 +27,10 @@ compile/simulate core:
   multi-fidelity ladder, and the distributed propose/evaluate protocol
   (a signed proposal ledger inside the store directory; ``repro dse
   dispatch --strategy bayes``, ``repro dse propose``).
+* :mod:`~repro.dse.moo` -- multi-objective frontier search: named objective
+  vectors, the incremental Pareto archive, exact 2-D/3-D hypervolume, and
+  the EHVI/ParEGO proposers (``repro dse run|dispatch --strategy
+  ehvi|parego --objectives fidelity,runtime``).
 
 The paper's Figures 6-8 are expressed as design spaces and executed through
 this engine (see :mod:`repro.toolflow.sweep`); ``python -m repro dse`` is the
@@ -62,6 +66,19 @@ from repro.dse.pareto import (
     pareto_frontier,
     per_app_frontiers,
 )
+from repro.dse.moo import (
+    DEFAULT_OBJECTIVES,
+    EHVIProposer,
+    ParEGOProposer,
+    ParetoArchive,
+    cloud_rows,
+    dominates,
+    hypervolume,
+    objective_vector,
+    parse_objectives,
+    record_frontier,
+    records_hypervolume,
+)
 from repro.dse.runner import DSERunner, Shard
 from repro.dse.space import AXES, DesignPoint, DesignSpace, point_from_spec
 from repro.dse.store import (
@@ -74,11 +91,14 @@ from repro.dse.store import (
 )
 from repro.dse.strategies import (
     ADAPTIVE_STRATEGY_NAMES,
+    MOO_STRATEGY_NAMES,
     STRATEGY_NAMES,
     AdaptiveHalving,
     BayesianOptimization,
     CoordinateDescent,
+    EHVISearch,
     ExhaustiveGrid,
+    ParEGOSearch,
     RandomSampling,
     Strategy,
     StrategyResult,
@@ -89,7 +109,9 @@ from repro.dse.strategies import (
 __all__ = [
     "ADAPTIVE_STRATEGY_NAMES",
     "AXES",
+    "DEFAULT_OBJECTIVES",
     "DEFAULT_TTL_S",
+    "MOO_STRATEGY_NAMES",
     "OBJECTIVES",
     "STRATEGY_NAMES",
     "AdaptiveDispatcher",
@@ -104,11 +126,16 @@ __all__ = [
     "DesignPoint",
     "DesignSpace",
     "Dispatcher",
+    "EHVIProposer",
+    "EHVISearch",
     "ExhaustiveGrid",
     "ExperimentStore",
     "LeaseDir",
     "LeaseLost",
     "LeaseState",
+    "ParEGOProposer",
+    "ParEGOSearch",
+    "ParetoArchive",
     "ProposalLedger",
     "RandomSampling",
     "Shard",
@@ -118,15 +145,22 @@ __all__ = [
     "StrategyResult",
     "SuccessiveHalving",
     "best_record",
+    "cloud_rows",
+    "dominates",
     "estimate_eta_s",
     "frontier_rows",
+    "hypervolume",
     "make_strategy",
     "objective_value",
+    "objective_vector",
+    "parse_objectives",
     "pareto_frontier",
     "per_app_frontiers",
     "point_from_spec",
     "read_manifest",
+    "record_frontier",
     "record_to_row",
+    "records_hypervolume",
     "row_to_record",
     "run_adaptive_worker",
     "run_proposer",

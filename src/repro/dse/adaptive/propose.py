@@ -385,7 +385,14 @@ class AdaptiveHalvingProposer:
 
 
 def make_proposer(space: DesignSpace, spec: Dict[str, object]):
-    """Build a proposer from a manifest/strategy spec dictionary."""
+    """Build a proposer from a manifest/strategy spec dictionary.
+
+    Covers the whole adaptive family: the scalar proposers here and the
+    multi-objective ones of :mod:`repro.dse.moo.propose` (``ehvi``,
+    ``parego``), so the distributed protocol needs a single factory.
+    """
+
+    from repro.dse.moo.propose import MOO_PROPOSER_NAMES, make_moo_proposer
 
     spec = dict(spec)
     name = spec.pop("name", None)
@@ -393,5 +400,7 @@ def make_proposer(space: DesignSpace, spec: Dict[str, object]):
         return BayesProposer(space, **spec)
     if name == "adaptive-halving":
         return AdaptiveHalvingProposer(space, **spec)
-    raise ValueError(f"unknown adaptive strategy {name!r}; "
-                     f"expected one of {PROPOSER_NAMES}")
+    if name in MOO_PROPOSER_NAMES:
+        return make_moo_proposer(space, dict(spec, name=name))
+    raise ValueError(f"unknown adaptive strategy {name!r}; expected one of "
+                     f"{PROPOSER_NAMES + MOO_PROPOSER_NAMES}")

@@ -363,6 +363,13 @@ def run_proposer(store_dir, *, manifest: Optional[Dict] = None,
     existing = set(ledger.batch_numbers())
     meta = {"strategy": proposer.strategy_name, "seed": proposer.seed,
             "metric": proposer.metric}
+    if hasattr(proposer, "objectives"):
+        # Multi-objective runs: the objective list rides in every proposal
+        # part so workers stamp it into row provenance exactly like the
+        # in-process strategy driver does -- serial and dispatched runs of
+        # one study then persist identical raw rows, not only identical
+        # canonical exports.
+        meta["objectives"] = list(proposer.objectives)
 
     trace: List[Dict[str, object]] = []
     while True:
@@ -376,7 +383,7 @@ def run_proposer(store_dir, *, manifest: Optional[Dict] = None,
             ledger.verify_or_repair_batch(batch, meta, parts=parts)
         else:
             ledger.write_batch(batch, meta, parts=parts)
-        values = _await_batch(store, index, batch, proposer.metric,
+        values = _await_batch(store, index, batch, proposer,
                               poll_s=poll_s, tick=tick)
         proposer.ingest(batch, values)
         trace.append(proposer.trace_entry(batch))
@@ -387,19 +394,38 @@ def run_proposer(store_dir, *, manifest: Optional[Dict] = None,
         key, value = best
         best_payload = {"key": key, "value": value,
                         "point": proposer.candidates[key].spec()}
-    ledger.write_complete({
+    complete = {
         "batches": len(trace),
         "evaluations": proposer.evaluations,
         "best": best_payload,
-    })
-    return {"batches": len(trace), "evaluations": proposer.evaluations,
-            "best": best_payload, "trace": trace}
+    }
+    if hasattr(proposer, "frontier"):
+        # Multi-objective runs: the complete marker records the Pareto
+        # archive (key, canonical objective values, point spec), so the
+        # frontier of a finished dispatched run is readable without
+        # reconstructing a proposer.
+        complete["objectives"] = list(proposer.objectives)
+        complete["frontier"] = [
+            {"key": key, "values": list(vector),
+             "point": proposer.candidates[key].spec()}
+            for key, vector in proposer.frontier()]
+    ledger.write_complete(complete)
+    summary = dict(complete)
+    summary["trace"] = trace
+    return summary
 
 
 def _await_batch(store: ExperimentStore, index: DSERunner,
-                 batch: ProposalBatch, metric: str, *, poll_s: float,
-                 tick: Optional[Callable[[], None]]) -> List[float]:
-    """Block until every point of ``batch`` has a store row; return values."""
+                 batch: ProposalBatch, proposer, *, poll_s: float,
+                 tick: Optional[Callable[[], None]]) -> List[object]:
+    """Block until every point of ``batch`` has a store row; return values.
+
+    Scalar proposers get one :func:`~repro.dse.pareto.objective_value` per
+    point; multi-objective proposers (an ``objectives`` attribute) get the
+    full :func:`~repro.dse.moo.objectives.objective_vector` -- exactly what
+    the in-process strategy drivers feed ``ingest``, so the proposal
+    sequence is identical either way.
+    """
 
     fingerprints = [index.fingerprint(point) for point in batch.points]
     while any(fp not in store for fp in fingerprints):
@@ -407,8 +433,13 @@ def _await_batch(store: ExperimentStore, index: DSERunner,
             tick()
         time.sleep(poll_s)
         store.reload()  # incremental: O(rows appended since last poll)
-    return [objective_value(row_to_record(store.get(fp)), metric)
-            for fp in fingerprints]
+    records = [row_to_record(store.get(fp)) for fp in fingerprints]
+    objectives = getattr(proposer, "objectives", None)
+    if objectives is not None:
+        from repro.dse.moo.objectives import objective_vector
+
+        return [objective_vector(record, objectives) for record in records]
+    return [objective_value(record, proposer.metric) for record in records]
 
 
 # --------------------------------------------------------------------------- #
@@ -482,6 +513,10 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
                 "rung": payload.get("rung"),
                 "proxy_qubits": payload.get("proxy_qubits"),
             }
+            if payload.get("objectives") is not None:
+                # Multi-objective batches: mirror the serial strategy
+                # driver's stamp so raw rows match serial runs exactly.
+                runner.provenance["objectives"] = payload["objectives"]
             try:
                 runner.evaluate(points)
             except LeaseLost:
@@ -522,16 +557,23 @@ class AdaptiveDispatcher:
         self.store_dir = Path(store_dir)
         self.strategy = dict(strategy)
         self.strategy.setdefault("parts", int(workers))
-        if self.strategy.get("name") == "bayes" and \
-                self.strategy.get("max_evals") is None:
+        if self.strategy.get("max_evals") is None:
             # Record the resolved budget in the manifest so progress
             # tooling (``dse status --eta``) can read it without
             # constructing a proposer.  Identical to the proposer's own
             # default, so determinism is unaffected.
-            from repro.dse.adaptive.propose import default_max_evals
+            name = self.strategy.get("name")
+            batch_size = self.strategy.get("batch_size", 4)
+            if name == "bayes":
+                from repro.dse.adaptive.propose import default_max_evals
 
-            self.strategy["max_evals"] = default_max_evals(
-                space.size, self.strategy.get("batch_size", 4))
+                self.strategy["max_evals"] = default_max_evals(
+                    space.size, batch_size)
+            elif name in ("ehvi", "parego"):
+                from repro.dse.moo.propose import default_moo_max_evals
+
+                self.strategy["max_evals"] = default_moo_max_evals(
+                    space.size, batch_size)
         self.workers = int(workers)
         self.ttl_s = float(ttl_s)
         self.jobs = int(jobs)

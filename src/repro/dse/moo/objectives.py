@@ -1,0 +1,83 @@
+"""Named objective vectors over experiment records.
+
+The single-objective layer (:func:`repro.dse.pareto.objective_value`) maps a
+record to one higher-is-better scalar.  Multi-objective search needs the
+same canonicalisation over a *tuple* of named objectives -- fidelity,
+runtime, and the derived metrics of :mod:`repro.sim.metrics` that store
+rows already persist (communication fraction, shuttles per MS gate) -- plus
+a per-objective normalisation so acquisition functions and hypervolumes
+compare unlike units on one scale.
+
+Every helper here is pure and deterministic: the same records in the same
+order always produce the same vectors, bounds and normalised values, which
+is what lets a killed multi-objective run replay its archive from the
+store alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.dse.pareto import OBJECTIVES, objective_value
+
+
+def parse_objectives(names) -> Tuple[str, ...]:
+    """Validate a CLI/strategy objective list (order-preserving).
+
+    Accepts an iterable of names or one comma-separated string.  At least
+    two distinct objectives are required -- one objective is what the
+    scalar strategies already do -- and every name must be a member of
+    :data:`~repro.dse.pareto.OBJECTIVES` (the error lists the valid set).
+    """
+
+    if isinstance(names, str):
+        names = tuple(item.strip() for item in names.split(",") if item.strip())
+    names = tuple(names)
+    for name in names:
+        if name not in OBJECTIVES:
+            raise ValueError(f"unknown objective {name!r}; "
+                             f"expected one of {OBJECTIVES}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate objectives in {names}")
+    if len(names) < 2:
+        raise ValueError("multi-objective search needs at least two "
+                         f"objectives (of {OBJECTIVES}); use --metric for "
+                         "single-objective runs")
+    return names
+
+
+def objective_vector(record, objectives: Sequence[str]) -> Tuple[float, ...]:
+    """The record's canonical (higher-is-better) values, objective order."""
+
+    return tuple(objective_value(record, name) for name in objectives)
+
+
+def vector_bounds(vectors: Iterable[Sequence[float]]
+                  ) -> Tuple[Tuple[float, float], ...]:
+    """Per-objective ``(low, high)`` over a non-empty vector collection."""
+
+    vectors = list(vectors)
+    if not vectors:
+        raise ValueError("cannot bound an empty vector collection")
+    dims = len(vectors[0])
+    return tuple((min(v[d] for v in vectors), max(v[d] for v in vectors))
+                 for d in range(dims))
+
+
+def normalise(vector: Sequence[float],
+              bounds: Sequence[Tuple[float, float]]) -> Tuple[float, ...]:
+    """Min-max normalise one vector to ``[0, 1]`` per objective.
+
+    A degenerate objective (every observation equal) maps to 0.5 -- flat,
+    so it neither dominates nor contributes hypervolume, but stays inside
+    the unit box.  Values outside the bounds (surrogate extrapolations)
+    clip to the box so hypervolume terms stay non-negative.
+    """
+
+    out: List[float] = []
+    for value, (low, high) in zip(vector, bounds):
+        if high > low:
+            out.append(min(1.0, max(0.0, (value - low) / (high - low))))
+        else:
+            out.append(0.5)
+    return tuple(out)

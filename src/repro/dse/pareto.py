@@ -15,8 +15,19 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-#: Objectives understood by the strategies and the CLI.
-OBJECTIVES = ("fidelity", "runtime")
+#: Objectives understood by the strategies and the CLI.  All are
+#: canonicalised to higher-is-better by :func:`objective_value`:
+#:
+#: * ``fidelity`` -- application reliability (higher is better as-is).
+#: * ``runtime`` -- negated makespan in seconds (faster is better).
+#: * ``comm_fraction`` -- negated fraction of the makespan spent on
+#:   communication (:func:`repro.sim.metrics.communication_fraction`; less
+#:   shuttling overhead is better).
+#: * ``shuttles_per_2q`` -- negated shuttles per executed MS gate.  The
+#:   denominator is ``num_ms_gates`` (MS applications including reordering
+#:   swaps) because that is the count store rows persist, so live and
+#:   store-replayed records score identically.
+OBJECTIVES = ("fidelity", "runtime", "comm_fraction", "shuttles_per_2q")
 
 
 def objective_value(record, metric: str = "fidelity") -> float:
@@ -26,6 +37,16 @@ def objective_value(record, metric: str = "fidelity") -> float:
         return record.fidelity
     if metric == "runtime":
         return -record.duration_seconds
+    if metric == "comm_fraction":
+        duration = record.result.duration_seconds
+        if duration <= 0:
+            return 0.0
+        return -record.result.communication_seconds / duration
+    if metric == "shuttles_per_2q":
+        gates = record.result.num_ms_gates
+        if gates == 0:
+            return 0.0
+        return -record.num_shuttles / gates
     raise ValueError(f"unknown objective {metric!r}; expected one of {OBJECTIVES}")
 
 

@@ -24,6 +24,12 @@ same points and reports the same best.
 * :class:`AdaptiveHalving` -- the multi-fidelity proxy ladder with
   surrogate-ranked promotion instead of a fixed eta
   (:class:`~repro.dse.adaptive.propose.AdaptiveHalvingProposer`).
+* :class:`EHVISearch` / :class:`ParEGOSearch` -- multi-objective frontier
+  search (:mod:`repro.dse.moo`): expected-hypervolume-improvement over one
+  surrogate per objective, and the seeded random-weight Chebyshev
+  scalarization baseline.  Both optimise a named *objective vector*
+  (``--objectives fidelity,runtime``) and report the Pareto archive next
+  to the scalar best.
 
 Every strategy stamps its provenance (name, seed, multi-fidelity rung) into
 the rows it persists (schema v3), so ``dse status --by-strategy`` can
@@ -44,10 +50,13 @@ from repro.dse.space import AXES
 
 #: CLI names of the built-in strategies.
 STRATEGY_NAMES = ("grid", "random", "greedy", "halving", "bayes",
-                  "adaptive-halving")
+                  "adaptive-halving", "ehvi", "parego")
 
 #: Strategies that run distributed through the propose/evaluate ledger.
-ADAPTIVE_STRATEGY_NAMES = ("bayes", "adaptive-halving")
+ADAPTIVE_STRATEGY_NAMES = ("bayes", "adaptive-halving", "ehvi", "parego")
+
+#: The multi-objective members of the family (vector-valued ingest).
+MOO_STRATEGY_NAMES = ("ehvi", "parego")
 
 
 @dataclass
@@ -63,6 +72,9 @@ class StrategyResult:
     best: Optional[object]
     #: Per-round trace (strategy-specific dictionaries, for reports).
     trace: List[Dict[str, object]] = field(default_factory=list)
+    #: Pareto-archive records of a multi-objective run (stable candidate-key
+    #: order); None for the scalar strategies.
+    frontier: Optional[List[object]] = None
 
     @property
     def evaluated(self) -> List[object]:
@@ -388,14 +400,133 @@ class AdaptiveHalving(_ProposerStrategy):
                                        min_survivors=self.min_survivors)
 
 
+class _MOOProposerStrategy(Strategy):
+    """Shared driver for the multi-objective proposer strategies.
+
+    Identical loop shape to :class:`_ProposerStrategy` -- and to the
+    distributed proposer of :func:`repro.dse.adaptive.protocol.run_proposer`
+    -- except the ingested values are objective *vectors*
+    (:func:`repro.dse.moo.objectives.objective_vector`), and the result
+    carries the Pareto archive (``result.frontier``) next to the scalar
+    best under the first objective.
+    """
+
+    shardable = False
+
+    def __init__(self, objectives=None, seed: int = 0,
+                 batch_size: int = 4, max_evals: Optional[int] = None,
+                 surrogate: str = "rff") -> None:
+        from repro.dse.moo import DEFAULT_OBJECTIVES, parse_objectives
+
+        self.objectives = parse_objectives(objectives if objectives
+                                           else DEFAULT_OBJECTIVES)
+        super().__init__(self.objectives[0])
+        self.seed = seed
+        self.batch_size = batch_size
+        self.max_evals = max_evals
+        self.surrogate = surrogate
+
+    def provenance(self, *, rung: Optional[int] = None,
+                   proxy_qubits: Optional[int] = None) -> Dict[str, object]:
+        stamp = super().provenance(rung=rung, proxy_qubits=proxy_qubits)
+        stamp["objectives"] = list(self.objectives)
+        return stamp
+
+    def make_proposer(self, space):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def run(self, runner) -> StrategyResult:
+        from repro.dse.moo import objective_vector
+
+        proposer = self.make_proposer(runner.space)
+        records: List[object] = []
+        trace: List[Dict[str, object]] = []
+        key_record: Dict[object, object] = {}
+        while True:
+            batch = proposer.next_batch()
+            if batch is None:
+                break
+            runner.provenance = self.provenance(
+                rung=batch.rung, proxy_qubits=batch.proxy_qubits)
+            evaluated = runner.evaluate(list(batch.points))
+            proposer.ingest(batch, [objective_vector(record, self.objectives)
+                                    for record in evaluated])
+            for key, record in zip(batch.keys, evaluated):
+                key_record[key] = record
+            records.extend(evaluated)
+            trace.append(proposer.trace_entry(batch))
+        result = self._result(records, trace)
+        best = proposer.best()
+        if best is not None:
+            result.best = key_record[best[0]]
+        result.frontier = [key_record[key]
+                           for key, _ in proposer.frontier()]
+        return result
+
+
+class EHVISearch(_MOOProposerStrategy):
+    """Expected-hypervolume-improvement frontier search.
+
+    One surrogate per objective; each batch proposes the candidates whose
+    sampled predictions add the most hypervolume to the current archive.
+    Deterministic for a fixed seed, any ``jobs`` value, and distributed
+    propose/evaluate runs.  Budget defaults to half the grid (frontier
+    recovery needs more points than best-point search).
+    """
+
+    name = "ehvi"
+
+    def make_proposer(self, space):
+        from repro.dse.moo import EHVIProposer
+
+        return EHVIProposer(space, seed=self.seed,
+                            objectives=self.objectives,
+                            batch_size=self.batch_size,
+                            max_evals=self.max_evals,
+                            surrogate=self.surrogate)
+
+
+class ParEGOSearch(_MOOProposerStrategy):
+    """Seeded random-weight Chebyshev scalarization (ParEGO baseline)."""
+
+    name = "parego"
+
+    def make_proposer(self, space):
+        from repro.dse.moo import ParEGOProposer
+
+        return ParEGOProposer(space, seed=self.seed,
+                              objectives=self.objectives,
+                              batch_size=self.batch_size,
+                              max_evals=self.max_evals,
+                              surrogate=self.surrogate)
+
+
 def make_strategy(name: str, *, seed: int = 0, metric: str = "fidelity",
                   samples: Optional[int] = None,
                   proxy_qubits: int = 12,
                   batch_size: int = 4,
                   max_evals: Optional[int] = None,
-                  surrogate: Optional[str] = None) -> Strategy:
+                  surrogate: Optional[str] = None,
+                  objectives=None) -> Strategy:
     """Build a strategy from its CLI name and knobs."""
 
+    if name in MOO_STRATEGY_NAMES:
+        if metric != "fidelity":
+            # Mirror the --objectives-with-scalar-strategy error below: a
+            # metric silently dropped would search objectives the caller
+            # never asked for.
+            partner = "runtime" if metric != "runtime" else "fidelity"
+            raise ValueError(f"--metric does not apply to the "
+                             f"multi-objective strategy {name!r}; name the "
+                             f"objective vector with --objectives instead "
+                             f"(e.g. --objectives {metric},{partner})")
+        cls = EHVISearch if name == "ehvi" else ParEGOSearch
+        return cls(objectives=objectives, seed=seed, batch_size=batch_size,
+                   max_evals=max_evals, surrogate=surrogate or "rff")
+    if objectives:
+        raise ValueError(f"--objectives only applies to the multi-objective "
+                         f"strategies {MOO_STRATEGY_NAMES}; "
+                         f"use --metric with {name!r}")
     if name == "grid":
         return ExhaustiveGrid(metric=metric)
     if name == "random":

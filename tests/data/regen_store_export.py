@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate ``golden_store_export.json`` through the real CLI.
+
+The golden file is a canonical ``dse export`` of a small fixed design
+space, committed so CI can byte-diff a freshly regenerated export against
+it -- the scaled-down first step of figure regeneration through a
+committed experiment store (see ROADMAP).  Only regenerate after an
+*intentional* change to simulation outputs or the export format.  Run from
+the repository root::
+
+    PYTHONPATH=src python tests/data/regen_store_export.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.cli import main
+
+#: The golden space as ``dse run`` CLI flags: 8 points, QFT+BV at 8 qubits
+#: on a 3-trap linear device (the fast TINY space of the adaptive tests).
+GOLDEN_RUN_FLAGS = [
+    "--apps", "QFT,BV", "--qubits", "8", "--topologies", "L3",
+    "--capacities", "6,8", "--gates", "AM1,FM", "--reorders", "GS",
+]
+
+GOLDEN_PATH = Path(__file__).parent / "golden_store_export.json"
+
+
+def regenerate(output: Path) -> None:
+    """Run the golden space through ``dse run`` + ``dse export``."""
+
+    workdir = Path(tempfile.mkdtemp(prefix="golden_store_"))
+    try:
+        store = workdir / "store"
+        code = main(["dse", "run", *GOLDEN_RUN_FLAGS, "--store", str(store)])
+        if code != 0:
+            raise SystemExit(f"dse run failed with exit code {code}")
+        code = main(["dse", "export", "--store", str(store),
+                     "--output", str(output)])
+        if code != 0:
+            raise SystemExit(f"dse export failed with exit code {code}")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    regenerate(GOLDEN_PATH)
+    print(f"wrote {GOLDEN_PATH} ({GOLDEN_PATH.stat().st_size} bytes)")
