@@ -10,6 +10,23 @@ By default the benches run on a scaled-down suite so that
 ``pytest benchmarks/ --benchmark-only`` completes in a couple of minutes.
 Set ``REPRO_BENCH_SCALE=paper`` to run the full Table II applications with the
 paper's capacity sweep (this is what EXPERIMENTS.md records).
+
+Artefact schema (``data/BENCH_<name>.json``): top level carries
+``schema_version``/``machine``/``python``/``scale`` metadata plus a
+``sections`` mapping, one entry per bench (see :func:`record_bench`).  The
+``batch_fanout`` section of ``BENCH_pipeline.json`` records the batched
+variant-simulation comparison (``bench_pipeline_scale.py``):
+
+* ``points``/``programs``/``gates`` -- sweep shape: compiled programs times
+  gate implementations evaluated per pass;
+* ``serial_s``/``batched_cold_s``/``batched_warm_s`` -- best-of wall time of
+  the per-variant serial loop versus one batched pass with cold (plans
+  rebuilt) and warm (plans + memos populated) caches, with
+  ``speedup_cold``/``speedup_warm`` and ``per_variant_us`` derived views;
+* ``dedup`` -- timeline cache behaviour over the run: ``timelines_built``,
+  ``timeline_hits``, ``variants``, ``hit_rate``;
+* ``ablation`` -- the heating/fidelity model fan-out (one program, many
+  parameter vectors): ``variants``, ``serial_s``, ``batched_s``, ``speedup``.
 """
 
 from __future__ import annotations

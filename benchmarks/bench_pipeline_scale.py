@@ -15,6 +15,12 @@ Records the throughput trajectory of the fast-path rewrite along four axes:
    exploration.  At paper scale on the baseline machine the optimized sweep
    must be >= 3x the recorded seed time.
 4. **Operation memory**: slotted versus dict-backed per-op footprint.
+5. **Batched variant fan-out**: the batch engine (one struct-of-arrays plan
+   per program, one timeline walk per distinct duration vector) versus the
+   serial per-variant loop on the Figure 8-style 96-point sweep's simulate
+   share, plus a fidelity/heating ablation fan-out where every variant
+   shares one duration vector.  Bit-identity to the serial engine is
+   cross-checked on every point; CI runs this as the batch perf smoke.
 
 Default scale is small; set ``REPRO_BENCH_SCALE=paper`` for the full Table II
 suite (the configuration the recorded baseline uses).
@@ -189,6 +195,155 @@ def test_fig8_sweep_end_to_end(benchmark):
     assert warm_s < cold_s, "program cache should make re-sweeps cheaper"
 
     benchmark.pedantic(lambda: run_sweep(ProgramCache()), rounds=2, iterations=1)
+
+
+def test_batch_fanout(benchmark):
+    """Batch engine vs. the serial per-variant loop on the Fig-8 fan-out.
+
+    Measures only the *simulate share* of the sweep: every (app, capacity,
+    reorder) program is compiled once up front, then simulated under all four
+    gate implementations -- serially (one full `simulate()` per variant),
+    batched cold (plans and timelines built on the fly) and batched warm
+    (plans cached by a previous sweep over the same programs, as in any
+    repeated or resumed DSE run).  A second section measures a model-ablation
+    fan-out where all variants share one duration vector.  The recorded
+    ``batch_fanout`` schema is documented in ``_common.py``.
+    """
+
+    from dataclasses import replace
+
+    from repro.sim.batch import (batch_plan, simulate_gate_variants,
+                                 simulate_model_variants)
+
+    suite = bench_suite()
+    topology, capacities = _sweep_spec()
+    compiled = []
+    for reorder in SWEEP_REORDERS:
+        for capacity in capacities:
+            config = ArchitectureConfig(topology=topology, trap_capacity=capacity,
+                                        reorder=reorder)
+            for circuit in suite.values():
+                compiled.append(compile_for(circuit, config))
+    num_points = len(compiled) * len(SWEEP_GATES)
+
+    # Bit-identity cross-check on every design point (and plan warm-up).
+    for program, device in compiled:
+        serial = [simulate(program, device.with_gate(g)) for g in SWEEP_GATES]
+        batched = simulate_gate_variants(program, device, SWEEP_GATES)
+        for gate, s, b in zip(SWEEP_GATES, serial, batched):
+            assert result_fingerprint(s) == result_fingerprint(b), (
+                f"batch engine diverged from serial on {program.circuit_name} "
+                f"({device.name or device.topology.name}, {gate})"
+            )
+
+    def reset_plans():
+        for program, _ in compiled:
+            program._batch_plan = None
+
+    def run_serial():
+        for program, device in compiled:
+            for gate in SWEEP_GATES:
+                simulate(program, device.with_gate(gate))
+
+    def run_batched():
+        for program, device in compiled:
+            simulate_gate_variants(program, device, SWEEP_GATES)
+
+    def run_batched_cold():
+        reset_plans()
+        run_batched()
+
+    serial_s = _best_of(run_serial)
+    cold_s = _best_of(run_batched_cold)
+    run_batched()  # plans are warm again from here on
+    warm_s = _best_of(run_batched)
+
+    dedup = {"timelines_built": 0, "timeline_hits": 0, "variants": 0}
+    for program, _ in compiled:
+        stats = batch_plan(program).stats()
+        dedup["timelines_built"] += stats["timelines_built"]
+        dedup["timeline_hits"] += stats["timeline_hits"]
+        dedup["variants"] += stats["variants"]
+    hit_rate = dedup["timeline_hits"] / max(1, dedup["timeline_hits"]
+                                            + dedup["timelines_built"])
+
+    # Ablation fan-out: heating/fidelity parameter vectors under one gate --
+    # a single duration vector shared by every variant (plans rebuilt, so
+    # this is a cold measurement).
+    program, device = compiled[0]
+    models = []
+    for i in range(8):
+        fid = replace(device.model.fidelity,
+                      background_heating_rate=2e-7 * (i + 1))
+        models.append(replace(device.model, fidelity=fid))
+    for i in range(8):
+        heat = replace(device.model.heating, background_rate=4e-5 * (i + 1))
+        models.append(replace(device.model, heating=heat))
+    variants = [replace(device, model=model, name="") for model in models]
+
+    def run_ablation_serial():
+        for variant in variants:
+            simulate(program, variant)
+
+    def run_ablation_batched():
+        program._batch_plan = None
+        simulate_model_variants(program, device, models)
+
+    ablation_serial_s = _best_of(run_ablation_serial)
+    ablation_batched_s = _best_of(run_ablation_batched)
+
+    print()
+    print(f"Batched variant fan-out (scale={bench_scale()}, {num_points} points, "
+          f"{len(compiled)} programs):")
+    print(f"  serial per-variant loop : {serial_s * 1e3:8.1f} ms "
+          f"({serial_s / num_points * 1e6:7.1f} us/variant)")
+    print(f"  batched, cold plans     : {cold_s * 1e3:8.1f} ms "
+          f"({cold_s / num_points * 1e6:7.1f} us/variant, "
+          f"{serial_s / cold_s:.2f}x)")
+    print(f"  batched, warm plans     : {warm_s * 1e3:8.1f} ms "
+          f"({warm_s / num_points * 1e6:7.1f} us/variant, "
+          f"{serial_s / warm_s:.2f}x)")
+    print(f"  timeline dedup          : {dedup['timelines_built']} built, "
+          f"{dedup['timeline_hits']} hits ({100 * hit_rate:.1f}% hit rate)")
+    print(f"  ablation fan-out (x{len(variants)}): serial "
+          f"{ablation_serial_s * 1e3:6.1f} ms vs batched "
+          f"{ablation_batched_s * 1e3:6.1f} ms "
+          f"({ablation_serial_s / ablation_batched_s:.2f}x)")
+
+    record_bench("pipeline", "batch_fanout", {
+        "points": num_points,
+        "programs": len(compiled),
+        "gates": list(SWEEP_GATES),
+        "serial_s": serial_s,
+        "batched_cold_s": cold_s,
+        "batched_warm_s": warm_s,
+        "speedup_cold": serial_s / cold_s,
+        "speedup_warm": serial_s / warm_s,
+        "per_variant_us": {
+            "serial": serial_s / num_points * 1e6,
+            "batched_cold": cold_s / num_points * 1e6,
+            "batched_warm": warm_s / num_points * 1e6,
+        },
+        "dedup": dict(dedup, hit_rate=hit_rate),
+        "ablation": {
+            "variants": len(variants),
+            "serial_s": ablation_serial_s,
+            "batched_s": ablation_batched_s,
+            "speedup": ablation_serial_s / ablation_batched_s,
+        },
+    })
+
+    # CI perf smoke: the batched sweep must never be slower than serial --
+    # a silent fallback-to-serial (or a plan-construction regression) fails
+    # here long before it would show up in wall-clock dashboards.
+    assert cold_s <= serial_s, (
+        f"cold batched fan-out ({cold_s * 1e3:.1f} ms) slower than the serial "
+        f"loop ({serial_s * 1e3:.1f} ms)")
+    assert warm_s <= cold_s * 1.1, "warm batched pass slower than cold"
+    assert ablation_batched_s <= ablation_serial_s, (
+        "batched ablation fan-out slower than the serial loop")
+
+    benchmark(run_batched)
 
 
 def test_operation_memory_footprint():

@@ -81,7 +81,8 @@ from repro.analysis.breakdown import error_contributions, time_breakdown
 from repro.apps import APPLICATION_NAMES, build_application, scaled_suite, table2_suite
 from repro.io import figure_bundle_to_dict, result_to_dict, save_json
 from repro.models.shuttle_times import format_table1
-from repro.toolflow import ArchitectureConfig, figure6, figure7, figure8, run_experiment
+from repro.toolflow import (ArchitectureConfig, ProgramCache, figure6, figure7,
+                            figure8, run_experiment)
 from repro.toolflow.tables import format_table2_text
 from repro.visualize import device_report
 
@@ -515,6 +516,24 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cache_summary_line(cache) -> str:
+    """One-line compile-cache + batch-engine summary for sweep commands.
+
+    With ``--jobs N`` the counters include the pool workers' activity (merged
+    back per task), so the line is identical for any job count -- sweep
+    output stays byte-for-byte independent of ``--jobs``.  The ``entries``
+    count is process-local and deliberately not printed.
+    """
+
+    stats = cache.stats()
+    return (f"Cache: {stats['hits']} hits / {stats['misses']} misses | "
+            f"batch: {stats['batch_variants']} variants over "
+            f"{stats['batch_plans']} plans "
+            f"(+{stats['batch_plan_reuses']} reuses), "
+            f"{stats['batch_timelines']} timelines walked, "
+            f"{stats['batch_timeline_hits']} dedup hits")
+
+
 def _cmd_sweep(args) -> int:
     store = _open_store(args.store) if args.store else None
     if args.small:
@@ -528,18 +547,19 @@ def _cmd_sweep(args) -> int:
         base_linear = ArchitectureConfig(topology="L6")
         topologies = ("L6", "G2x3")
 
+    cache = ProgramCache()
     if args.figure == 6:
         bundle = figure6(suite, capacities=capacities,
                          base=base_linear.with_updates(gate="FM", reorder="GS"),
-                         jobs=args.jobs, store=store)
+                         jobs=args.jobs, cache=cache, store=store)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
     elif args.figure == 7:
         bundle = figure7(suite, capacities=capacities, topologies=topologies,
-                         jobs=args.jobs, store=store)
+                         jobs=args.jobs, cache=cache, store=store)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
     else:
         bundle = figure8(suite, capacities=capacities, base=base_linear,
-                         jobs=args.jobs, store=store)
+                         jobs=args.jobs, cache=cache, store=store)
         series = {"fidelity": bundle["fidelity"], "runtime_s": bundle["runtime_s"]}
 
     print(f"Figure {args.figure} series over capacities {list(capacities)}:")
@@ -547,8 +567,10 @@ def _cmd_sweep(args) -> int:
         print(f"\n[{metric}]")
         for app, values in per_app.items():
             print(f"  {app:12s} {values}")
+    print()
+    print(_cache_summary_line(cache))
     if store is not None:
-        print(f"\nExperiment store: {store.directory} ({len(store)} points)")
+        print(f"Experiment store: {store.directory} ({len(store)} points)")
         store.close()
     if args.output and not _write_json(figure_bundle_to_dict(bundle), args.output):
         return 1

@@ -9,7 +9,9 @@ any point list a strategy proposes) and the parallel sweep executor of
   recomputed (resume-after-kill, overlapping spaces, warm re-runs).
 * **Gate fan-out.**  Consecutive pending points that differ only in the
   two-qubit gate implementation become one :class:`SweepTask` -- one
-  compilation simulated under each gate, exactly like the Figure 8 driver.
+  compilation, batch-simulated under every gate in a single shared pass
+  (:func:`repro.sim.batch.simulate_batch`), exactly like the Figure 8
+  driver.
 * **Deterministic parallelism.**  Tasks run through
   :func:`~repro.toolflow.parallel.run_tasks`; results come back in point
   order for any ``jobs`` value.

@@ -13,10 +13,20 @@ The simulator replays a :class:`~repro.isa.program.QCCDProgram` on a
   own fidelity from equation (1); the per-gate error is also attributed to its
   background and motional components for Figure 6g.
 
-:func:`simulate` is the public entry point and returns a
-:class:`SimulationResult`.
+:func:`simulate` is the public entry point for one (program, device) pair and
+returns a :class:`SimulationResult`; :func:`simulate_batch` (and the
+:func:`simulate_gate_variants` / :func:`simulate_model_variants` helpers)
+evaluates one compiled program under a whole axis of device variants in a
+single shared pass, bit-identical to serial :func:`simulate`.
 """
 
+from repro.sim.batch import (
+    BatchPlan,
+    batch_plan,
+    simulate_batch,
+    simulate_gate_variants,
+    simulate_model_variants,
+)
 from repro.sim.engine import simulate
 from repro.sim.results import SimulationResult, OperationRecord
 from repro.sim.metrics import (
@@ -27,6 +37,11 @@ from repro.sim.metrics import (
 
 __all__ = [
     "simulate",
+    "simulate_batch",
+    "simulate_gate_variants",
+    "simulate_model_variants",
+    "BatchPlan",
+    "batch_plan",
     "SimulationResult",
     "OperationRecord",
     "communication_fraction",

@@ -177,8 +177,10 @@ def figure8(suite: Optional[Dict[str, Circuit]] = None,
 
     Returns ``capacities``, ``combos`` (e.g. ``"FM-GS"``), ``fidelity`` and
     ``runtime_s`` keyed ``app -> combo -> series``.  Each (application,
-    capacity, reorder) triple is compiled once and simulated under every gate
-    implementation.
+    capacity, reorder) triple is compiled once and batch-simulated under
+    every gate implementation in one shared pass
+    (:func:`repro.sim.batch.simulate_batch` via the DSE runner's gate
+    fan-out).
     """
 
     suite = _suite_or_default(suite)

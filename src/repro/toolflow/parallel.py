@@ -15,9 +15,19 @@ This module adds the two throughput layers the sweep drivers share:
   separate sweeps in one session.
 * :func:`run_tasks` -- a deterministic sweep executor.  ``jobs=1`` (the
   default) runs in-process against a shared cache; ``jobs>1`` fans tasks out
-  to a ``ProcessPoolExecutor`` whose workers each keep a process-local cache.
-  Results always come back in task-submission order, so the produced record
-  list is byte-for-byte independent of the worker count.
+  to a ``ProcessPoolExecutor`` whose workers each keep a process-local cache
+  (their cache/batch counters are merged back into the caller's cache so the
+  CLI summary stays meaningful).  Results always come back in
+  task-submission order, so the produced record list is byte-for-byte
+  independent of the worker count.
+
+Gate fan-outs (``SweepTask.gates``) are simulated through the batch engine
+(:func:`repro.sim.batch.simulate_gate_variants`): one struct-of-arrays plan per
+compiled program, one timeline walk per distinct duration vector, and a
+reduced per-variant noise pass -- bit-identical to serial
+:func:`~repro.sim.engine.simulate` (golden-tested).  Tasks that need a
+per-operation timeline (``keep_timeline=True``) fall back to the serial
+engine, which is the only path that materialises one.
 
 Physical-model parameters are allowed to differ between cache hits: the
 compiler never reads them (they only drive simulation), which is asserted by
@@ -39,6 +49,7 @@ from repro.models.gate_times import GateImplementation
 from repro.io.fingerprint import circuit_fingerprint
 from repro.ir.circuit import Circuit
 from repro.isa.program import QCCDProgram
+from repro.sim.batch import simulate_gate_variants
 from repro.sim.engine import simulate
 from repro.toolflow.config import ArchitectureConfig
 from repro.toolflow.runner import ExperimentRecord
@@ -56,6 +67,11 @@ class ProgramCache:
         self._programs: Dict[Tuple, Tuple[QCCDProgram, QCCDDevice]] = {}
         self.hits = 0
         self.misses = 0
+        #: Batch-simulation activity against programs of this cache, in the
+        #: key scheme of :func:`repro.sim.batch.simulate_batch`'s ``stats``
+        #: parameter (``plans``/``plan_reuses``/``variants``/``timelines``/
+        #: ``timeline_hits``).
+        self.batch: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._programs)
@@ -111,9 +127,54 @@ class ProgramCache:
         return program, device
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters plus the number of distinct compilations held."""
+        """Hit/miss counters, distinct compilations held, batch activity.
 
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._programs)}
+        The ``batch_*`` keys count batch-engine work done against programs
+        compiled through this cache: plans built (one per program) versus
+        reused across tasks, variants evaluated, and timeline walks performed
+        versus skipped thanks to duration-vector dedup.
+        """
+
+        stats = {"hits": self.hits, "misses": self.misses,
+                 "entries": len(self._programs)}
+        batch = self.batch
+        stats["batch_plans"] = batch.get("plans", 0)
+        stats["batch_plan_reuses"] = batch.get("plan_reuses", 0)
+        stats["batch_variants"] = batch.get("variants", 0)
+        stats["batch_timelines"] = batch.get("timelines", 0)
+        stats["batch_timeline_hits"] = batch.get("timeline_hits", 0)
+        return stats
+
+    def counters_delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter movement since a previous :meth:`stats` snapshot.
+
+        ``entries`` is excluded: it is the size of this process's memo, not a
+        monotone counter, so deltas across processes are not meaningful.
+        """
+
+        now = self.stats()
+        return {key: now[key] - before.get(key, 0)
+                for key in now if key != "entries"}
+
+    def merge_counters(self, delta: Dict[str, int]) -> None:
+        """Fold a :meth:`counters_delta` from a pool worker into this cache.
+
+        Lets ``jobs>1`` sweeps report aggregate cache/batch activity even
+        though worker processes keep private memos (their *entries* stay
+        process-local and are not merged).
+        """
+
+        self.hits += delta.get("hits", 0)
+        self.misses += delta.get("misses", 0)
+        batch = self.batch
+        for stat_key, raw_key in (("batch_plans", "plans"),
+                                  ("batch_plan_reuses", "plan_reuses"),
+                                  ("batch_variants", "variants"),
+                                  ("batch_timelines", "timelines"),
+                                  ("batch_timeline_hits", "timeline_hits")):
+            value = delta.get(stat_key, 0)
+            if value:
+                batch[raw_key] = batch.get(raw_key, 0) + value
 
 
 @dataclass(frozen=True)
@@ -136,9 +197,17 @@ def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]
     """Run one task against ``cache``; mirrors the serial runner drivers.
 
     Every record carries ``wall_s``, the wall-clock cost of producing it: its
-    simulation time plus an even share of the task's compile time (zero on a
+    simulation share plus an even share of the task's compile time (zero on a
     cache hit).  The DSE store persists these timings, which is what drives
     ``dse status --eta`` and the dispatcher's progress watch.
+
+    Gate fan-outs run through :func:`repro.sim.batch.simulate_gate_variants`
+    -- one shared plan/timeline pass for the whole ``gates`` tuple,
+    bit-identical to the per-gate serial loop -- and each record's ``wall_s``
+    is an even
+    apportionment of the batch's measured wall time.  ``keep_timeline=True``
+    falls back to serial :func:`~repro.sim.engine.simulate`, the only engine
+    that materialises per-operation timelines.
     """
 
     compile_start = perf_counter()
@@ -150,27 +219,44 @@ def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]
     if task.gates is None:
         sim_start = perf_counter()
         result = simulate(program, device, keep_timeline=task.keep_timeline)
+        sim_s = perf_counter() - sim_start
         records.append(ExperimentRecord(
             application=task.circuit.name,
             config=task.config,
             result=result,
             program_size=program_size,
             num_shuttles=num_shuttles,
-            wall_s=compile_s + perf_counter() - sim_start,
+            wall_s=compile_s + sim_s,
         ))
         return records
     compile_share = compile_s / len(task.gates)
-    for gate in task.gates:
-        variant_device = device.with_gate(gate)
-        sim_start = perf_counter()
-        result = simulate(program, variant_device, keep_timeline=task.keep_timeline)
+    if task.keep_timeline:
+        for gate in task.gates:
+            variant_device = device.with_gate(gate)
+            sim_start = perf_counter()
+            result = simulate(program, variant_device, keep_timeline=True)
+            sim_s = perf_counter() - sim_start
+            records.append(ExperimentRecord(
+                application=task.circuit.name,
+                config=task.config.with_updates(gate=gate),
+                result=result,
+                program_size=program_size,
+                num_shuttles=num_shuttles,
+                wall_s=compile_share + sim_s,
+            ))
+        return records
+    sim_start = perf_counter()
+    results = simulate_gate_variants(program, device, task.gates,
+                                     stats=cache.batch)
+    sim_share = (perf_counter() - sim_start) / len(task.gates)
+    for gate, result in zip(task.gates, results):
         records.append(ExperimentRecord(
             application=task.circuit.name,
             config=task.config.with_updates(gate=gate),
             result=result,
             program_size=program_size,
             num_shuttles=num_shuttles,
-            wall_s=compile_share + perf_counter() - sim_start,
+            wall_s=compile_share + sim_share,
         ))
     return records
 
@@ -183,11 +269,21 @@ def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]
 _WORKER_CACHE: Optional[ProgramCache] = None
 
 
-def _worker_execute(task: SweepTask) -> List[ExperimentRecord]:
+def _worker_execute(task: SweepTask,
+                    ) -> Tuple[List[ExperimentRecord], Dict[str, int]]:
+    """Execute one task in a pool worker.
+
+    Returns the records plus the worker cache's counter movement for this
+    task, so the parent process can aggregate cache/batch statistics across
+    workers (the memo itself stays process-local).
+    """
+
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = ProgramCache()
-    return execute_task(task, _WORKER_CACHE)
+    before = _WORKER_CACHE.stats()
+    records = execute_task(task, _WORKER_CACHE)
+    return records, _WORKER_CACHE.counters_delta(before)
 
 
 def iter_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
@@ -209,8 +305,11 @@ def iter_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
         deterministic regardless of ``jobs``.
     cache:
         Compiled-program cache for the serial path (one is created when not
-        given).  Pool workers always use process-local caches; the parameter
-        still primes nothing across processes by design.
+        given).  Pool workers always use process-local caches -- the
+        parameter primes nothing across processes by design -- but their
+        hit/miss and batch counters are merged back into ``cache`` as each
+        task's records are yielded, so a summary printed from it covers the
+        whole run regardless of ``jobs``.
     """
 
     tasks = list(tasks)
@@ -223,7 +322,10 @@ def iter_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
         return
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         chunksize = max(1, len(tasks) // (4 * jobs))
-        yield from pool.map(_worker_execute, tasks, chunksize=chunksize)
+        for records, delta in pool.map(_worker_execute, tasks, chunksize=chunksize):
+            if cache is not None:
+                cache.merge_counters(delta)
+            yield records
 
 
 def run_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,

@@ -17,6 +17,7 @@ from repro.compiler.compile import CompilerOptions, compile_circuit
 from repro.hardware.device import QCCDDevice
 from repro.ir.circuit import Circuit
 from repro.isa.program import QCCDProgram
+from repro.sim.batch import simulate_gate_variants
 from repro.sim.engine import simulate
 from repro.sim.results import SimulationResult
 from repro.toolflow.config import ArchitectureConfig
@@ -108,14 +109,17 @@ def run_gate_variants(circuit: Circuit, config: ArchitectureConfig,
 
     The compiled program depends on topology, capacity and reordering method
     but not on the MS pulse-modulation scheme, so the program is compiled once
-    (under ``config``) and re-simulated for every entry of ``gates``.
+    (under ``config``) and simulated for every entry of ``gates`` through the
+    batch engine (:func:`repro.sim.batch.simulate_gate_variants`): one shared
+    timeline pass per distinct duration vector, bit-identical to simulating
+    each variant serially.
     """
 
     program, device = compile_for(circuit, config, options)
+    gates = tuple(gates)
+    results = simulate_gate_variants(program, device, gates)
     records: Dict[str, ExperimentRecord] = {}
-    for gate in gates:
-        variant_device: QCCDDevice = device.with_gate(gate)
-        result = simulate(program, variant_device)
+    for gate, result in zip(gates, results):
         records[gate] = ExperimentRecord(
             application=circuit.name,
             config=config.with_updates(gate=gate),

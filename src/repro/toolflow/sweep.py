@@ -105,7 +105,9 @@ def sweep_microarchitecture(circuits: Dict[str, Circuit],
 
     The compiled program is shared across gate implementations for each
     (application, capacity, reorder) triple: the space enumerates gates
-    innermost, which the DSE runner folds into single-compilation tasks.
+    innermost, which the DSE runner folds into single-compilation tasks that
+    the batch engine (:func:`repro.sim.batch.simulate_batch`) evaluates in
+    one shared pass per compilation.
     """
 
     from repro.dse.space import DesignSpace

@@ -368,8 +368,12 @@ class TestDSERunner:
         runner = DSERunner(mini_space, circuits=mini_circuits)
         runner.evaluate_space()
         # 8 points but only 4 (app x capacity) compilations: the two gate
-        # variants of each pair fold into one task.
-        assert runner.cache.stats() == {"hits": 0, "misses": 4, "entries": 4}
+        # variants of each pair fold into one task, which the batch engine
+        # evaluates in a single pass per compilation.
+        stats = runner.cache.stats()
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (0, 4, 4)
+        assert stats["batch_plans"] == 4
+        assert stats["batch_variants"] == 8
 
     def test_jobs_do_not_change_results(self, mini_space, mini_circuits):
         serial = DSERunner(mini_space, circuits=mini_circuits).evaluate_space()

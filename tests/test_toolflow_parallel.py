@@ -16,13 +16,23 @@ def _record_identity(record):
             record.num_shuttles, result_fingerprint(record.result))
 
 
+def _stats(hits=0, misses=0, entries=0, batch_plans=0, batch_plan_reuses=0,
+           batch_variants=0, batch_timelines=0, batch_timeline_hits=0):
+    """Expected ``ProgramCache.stats()`` dictionary."""
+
+    return {"hits": hits, "misses": misses, "entries": entries,
+            "batch_plans": batch_plans, "batch_plan_reuses": batch_plan_reuses,
+            "batch_variants": batch_variants, "batch_timelines": batch_timelines,
+            "batch_timeline_hits": batch_timeline_hits}
+
+
 class TestProgramCache:
     def test_miss_then_hit(self, qft8, small_config):
         cache = ProgramCache()
         program_a, _ = cache.get_or_compile(qft8, small_config)
         program_b, _ = cache.get_or_compile(qft8, small_config)
         assert program_a is program_b
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == _stats(hits=1, misses=1, entries=1)
 
     def test_gate_not_part_of_key(self, qft8, small_config):
         """AM1/FM configs share one compilation; devices carry each gate."""
@@ -40,7 +50,7 @@ class TestProgramCache:
         cache.get_or_compile(qft8, small_config)
         cache.get_or_compile(qft8, small_config.with_updates(trap_capacity=8))
         cache.get_or_compile(qft8, small_config.with_updates(reorder="IS"))
-        assert cache.stats() == {"hits": 0, "misses": 3, "entries": 3}
+        assert cache.stats() == _stats(misses=3, entries=3)
 
     def test_hit_carries_requested_physical_model(self, qft8, small_config):
         """A cache hit must simulate under the *requested* model parameters.
@@ -85,6 +95,121 @@ class TestSweepTaskExecution:
                                 ProgramCache())
         assert [_record_identity(r) for r in direct] == \
                [_record_identity(r) for r in via_task]
+
+
+class _FakeClock:
+    """Deterministic ``perf_counter`` stand-in: each call advances by 1.0."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += 1.0
+        return value
+
+
+class TestWallClockAccounting:
+    """``wall_s`` must equal the record's compile share plus its sim share.
+
+    The timing calls are replaced with a fake counter that advances one
+    second per call, so each measured interval is exactly 1.0 and the
+    apportioning arithmetic can be pinned without real-time flakiness.
+    """
+
+    def test_single_point_wall_is_compile_plus_sim(self, qft8, small_config,
+                                                   monkeypatch):
+        monkeypatch.setattr("repro.toolflow.parallel.perf_counter", _FakeClock())
+        record = execute_task(SweepTask(qft8, small_config), ProgramCache())[0]
+        # One interval for compile, one for simulate.
+        assert record.wall_s == 2.0
+
+    def test_single_point_wall_on_cache_hit(self, qft8, small_config,
+                                            monkeypatch):
+        cache = ProgramCache()
+        cache.get_or_compile(qft8, small_config)  # prime: the task will hit
+        monkeypatch.setattr("repro.toolflow.parallel.perf_counter", _FakeClock())
+        record = execute_task(SweepTask(qft8, small_config), cache)[0]
+        assert cache.hits == 1
+        # Same accounting identity on the hit path; the compile interval now
+        # times only the memo lookup.
+        assert record.wall_s == 2.0
+
+    def test_hit_path_is_cheaper_than_miss_path(self, qft8, small_config):
+        """Real-clock sanity: a hit's wall_s drops the compile cost."""
+
+        cache = ProgramCache()
+        miss = execute_task(SweepTask(qft8, small_config), cache)[0]
+        hit = execute_task(SweepTask(qft8, small_config), cache)[0]
+        assert cache.stats()["hits"] == 1
+        assert 0.0 < hit.wall_s <= miss.wall_s
+
+    def test_batch_fanout_apportions_evenly(self, qft8, small_config,
+                                            monkeypatch):
+        monkeypatch.setattr("repro.toolflow.parallel.perf_counter", _FakeClock())
+        gates = ("AM1", "AM2", "PM", "FM")
+        records = execute_task(SweepTask(qft8, small_config, gates=gates),
+                               ProgramCache())
+        # compile interval 1.0 and one batch interval 1.0, each split 4 ways.
+        assert [r.wall_s for r in records] == [0.5] * 4
+        assert sum(r.wall_s for r in records) == 2.0
+
+    def test_keep_timeline_fallback_times_each_variant(self, qft8, small_config,
+                                                       monkeypatch):
+        monkeypatch.setattr("repro.toolflow.parallel.perf_counter", _FakeClock())
+        cache = ProgramCache()
+        gates = ("AM1", "FM")
+        records = execute_task(
+            SweepTask(qft8, small_config, gates=gates, keep_timeline=True), cache)
+        # Serial fallback: each variant gets its own 1.0 sim interval plus
+        # half of the 1.0 compile interval.
+        assert [r.wall_s for r in records] == [1.5, 1.5]
+        assert all(r.result.timeline is not None for r in records)
+        # The fallback must not be counted as batch work.
+        assert cache.stats()["batch_variants"] == 0
+
+
+class TestBatchCounters:
+    def test_gate_fanout_counts_batch_activity(self, qft8, small_config):
+        cache = ProgramCache()
+        gates = ("AM1", "AM2", "PM", "FM")
+        execute_task(SweepTask(qft8, small_config, gates=gates), cache)
+        stats = cache.stats()
+        assert stats["batch_plans"] == 1
+        assert stats["batch_variants"] == 4
+        # Every timeline walk is either built fresh or deduped.
+        assert stats["batch_timelines"] + stats["batch_timeline_hits"] == 4
+        assert stats["batch_timelines"] >= 1
+
+    def test_plan_reused_across_tasks(self, qft8, small_config):
+        cache = ProgramCache()
+        task = SweepTask(qft8, small_config, gates=("AM1", "FM"))
+        execute_task(task, cache)
+        execute_task(task, cache)
+        stats = cache.stats()
+        assert stats["batch_plans"] == 1
+        assert stats["batch_plan_reuses"] == 1
+        assert stats["batch_variants"] == 4
+        # Second task's timelines come entirely from the plan's dedup cache.
+        assert stats["batch_timelines"] == 2
+        assert stats["batch_timeline_hits"] == 2
+
+    def test_pool_workers_merge_counters(self, small_suite, small_config):
+        """jobs>1 folds worker cache/batch deltas into the caller's cache."""
+
+        tasks = [SweepTask(circuit, small_config, gates=("AM1", "FM"))
+                 for circuit in small_suite.values()]
+        parent = ProgramCache()
+        run_tasks(tasks, jobs=2, cache=parent)
+        stats = parent.stats()
+        # Distinct programs: each compiles exactly once in whichever worker.
+        assert stats["misses"] == len(tasks)
+        assert stats["hits"] == 0
+        assert stats["entries"] == 0  # memos stay process-local
+        assert stats["batch_plans"] == len(tasks)
+        assert stats["batch_variants"] == 2 * len(tasks)
+        # AM1 and FM duration vectors never collide.
+        assert stats["batch_timelines"] == 2 * len(tasks)
 
 
 class TestRunTasks:
@@ -145,9 +270,19 @@ class TestSweepIntegration:
         cache = ProgramCache()
         sweep_microarchitecture(small_suite, capacities=(6,), gates=("AM1", "FM"),
                                 reorders=("GS",), base=base, cache=cache)
-        assert cache.stats() == {"hits": 0, "misses": len(small_suite),
-                                 "entries": len(small_suite)}
+        # Each app's 2-gate fan-out runs through the batch engine: one plan,
+        # two variants, two distinct duration vectors (AM1 vs FM never
+        # collide), no timeline dedup within the pair.
+        assert cache.stats() == _stats(
+            misses=len(small_suite), entries=len(small_suite),
+            batch_plans=len(small_suite), batch_variants=2 * len(small_suite),
+            batch_timelines=2 * len(small_suite))
         sweep_microarchitecture(small_suite, capacities=(6,), gates=("PM",),
                                 reorders=("GS",), base=base, cache=cache)
-        assert cache.stats() == {"hits": len(small_suite), "misses": len(small_suite),
-                                 "entries": len(small_suite)}
+        # Single-gate points are not folded into a gates tuple, so the second
+        # sweep takes the serial path: cache hits, no new batch activity.
+        assert cache.stats() == _stats(
+            hits=len(small_suite), misses=len(small_suite),
+            entries=len(small_suite),
+            batch_plans=len(small_suite), batch_variants=2 * len(small_suite),
+            batch_timelines=2 * len(small_suite))
