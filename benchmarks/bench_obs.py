@@ -1,0 +1,122 @@
+"""Observability overhead benchmark: tracing must be free when disabled.
+
+The instrumentation contract of :mod:`repro.obs` (see
+``docs/observability.md``): with tracing disabled -- the default -- every
+``span()`` call site reduces to one global load, one ``is None`` test and a
+shared no-op object, so instrumenting the pipeline costs nothing measurable.
+This bench pins that contract against the same Figure 8-style sweep
+``bench_pipeline_scale.py`` times (96 design points at small scale):
+
+1. time the sweep as shipped (tracing disabled);
+2. run it once traced to count the spans the pipeline actually emits;
+3. time the disabled ``with span(...)`` fast path in isolation and project
+   its cost onto that span count.
+
+The projected disabled-mode overhead must stay **under 1% of the sweep's
+wall time** -- the CI smoke that keeps future instrumentation (more spans,
+or a fatter disabled path) from taxing every untraced run.  The traced
+sweep is also timed, for the record: tracing is allowed to cost, disabled
+instrumentation is not.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from _common import bench_scale, bench_suite, record_bench
+
+from repro.obs import disable_tracing, enable_tracing, span
+from repro.toolflow import ArchitectureConfig, ProgramCache, sweep_microarchitecture
+
+SWEEP_GATES = ("AM1", "AM2", "PM", "FM")
+SWEEP_REORDERS = ("GS", "IS")
+
+#: Disabled span() call sites timed per measurement pass.
+DISABLED_CALLS = 100_000
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    from time import perf_counter
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        fn()
+        best = min(best, perf_counter() - start)
+    return best
+
+
+def _sweep_spec():
+    if bench_scale() == "paper":
+        return "L6", (18, 26)
+    return "L4", (6, 8)
+
+
+def test_disabled_tracing_overhead(benchmark):
+    """Projected disabled-span cost on the 96-point sweep: < 1% of wall time."""
+
+    suite = bench_suite()
+    topology, capacities = _sweep_spec()
+    base = ArchitectureConfig(topology=topology)
+
+    def run_sweep():
+        return sweep_microarchitecture(suite, capacities=capacities,
+                                       gates=SWEEP_GATES,
+                                       reorders=SWEEP_REORDERS,
+                                       base=base, cache=ProgramCache())
+
+    points = len(run_sweep())  # warm-up (and the point count)
+    sweep_s = _best_of(run_sweep)
+
+    # One traced pass counts the spans the pipeline emits for this sweep.
+    enable_tracing()
+    try:
+        traced_s = _best_of(run_sweep, repeats=1)
+    finally:
+        tracer = disable_tracing()
+    span_count = len(tracer.spans)
+
+    # The disabled fast path, measured at a representative call site: a
+    # `with` block and an attribute keyword, exactly what the pipeline's
+    # instrumentation pays per span when tracing is off.
+    def disabled_pass():
+        for _ in range(DISABLED_CALLS):
+            with span("bench.noop", x=1):
+                pass
+
+    per_call_s = _best_of(disabled_pass) / DISABLED_CALLS
+    overhead_s = per_call_s * span_count
+    fraction = overhead_s / sweep_s
+
+    print()
+    print(f"Disabled-tracing overhead (scale={bench_scale()}, "
+          f"{points} design points):")
+    print(f"  sweep wall time      : {sweep_s * 1e3:8.1f} ms (untraced)")
+    print(f"  traced sweep         : {traced_s * 1e3:8.1f} ms "
+          f"({span_count} spans recorded)")
+    print(f"  disabled span() call : {per_call_s * 1e9:8.1f} ns")
+    print(f"  projected overhead   : {overhead_s * 1e6:8.1f} us "
+          f"({100 * fraction:.4f}% of the sweep)")
+    record_bench("obs", "disabled_overhead", {
+        "points": points,
+        "sweep_s": sweep_s,
+        "traced_sweep_s": traced_s,
+        "spans": span_count,
+        "disabled_call_ns": per_call_s * 1e9,
+        "projected_overhead_s": overhead_s,
+        "overhead_fraction": fraction,
+    })
+
+    assert span_count > 0, "the traced sweep recorded no spans"
+    assert fraction < 0.01, (
+        f"disabled tracing costs {100 * fraction:.3f}% of the sweep "
+        f"({per_call_s * 1e9:.0f} ns x {span_count} spans); the no-op "
+        f"fast path has regressed")
+
+    benchmark(disabled_pass)
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-s", "-q", "--benchmark-disable"]))

@@ -82,13 +82,21 @@ def quickstart(workdir: Path) -> None:
     repro_main(["dse", "status", "--store", str(store_dir), "--eta"])
 
 
-def smoke(workdir: Path) -> int:
+def smoke(workdir: Path, trace: Path = None) -> int:
     """CI scenario: 3 workers, one SIGKILLed, export must match serial."""
 
     space = DesignSpace(apps=("QFT", "BV"), qubits=(8,), topologies=("L3",),
                         capacities=(6, 8, 10),
                         gates=("AM1", "AM2", "PM", "FM"),
                         reorders=("GS", "IS"))
+    if trace is not None:
+        # Tracing covers the serial golden run (compile/sim/dse spans) and
+        # the dispatch coordination; the byte-diff below then doubles as
+        # the traces-are-a-side-channel check -- the *traced* serial run's
+        # export is what the dispatched export must match.
+        from repro.obs import enable_tracing
+
+        enable_tracing()
     print(f"[smoke] golden single-process run of {space.size} points...")
     with ExperimentStore(workdir / "serial") as store:
         DSERunner(space, store=store).evaluate_space()
@@ -140,6 +148,24 @@ def smoke(workdir: Path) -> int:
             print("[smoke] FAIL: victim shard was not reclaimed")
             return 1
 
+    if trace is not None:
+        import json
+
+        from repro.obs import disable_tracing, validate_chrome_trace, write_trace
+
+        tracer = disable_tracing()
+        paths = write_trace(trace, tracer)
+        events = validate_chrome_trace(json.loads(
+            Path(paths["trace"]).read_text()))
+        if events == 0:
+            print("[smoke] FAIL: the trace recorded no spans")
+            return 1
+        print(f"[smoke] trace: {paths['trace']} validates as Chrome trace "
+              f"JSON ({events} events)")
+
+    print("[smoke] worker telemetry:")
+    repro_main(["dse", "status", "--store", str(store_dir), "--workers"])
+
     dispatched = export_bytes(store_dir, workdir / "dispatched.json")
     if dispatched != golden:
         print("[smoke] FAIL: dispatched export differs from the serial "
@@ -157,11 +183,15 @@ def main() -> int:
                         help="kill-one-worker recovery check (used by CI); "
                              "exits non-zero if the reclaimed run's export "
                              "differs from the serial golden export")
+    parser.add_argument("--trace", type=Path, default=None, metavar="OUT.JSON",
+                        help="with --smoke: record the dispatcher process's "
+                             "span trace and validate it as Chrome trace "
+                             "JSON")
     args = parser.parse_args()
     workdir = Path(tempfile.mkdtemp(prefix="dse_distributed_"))
     try:
         if args.smoke:
-            return smoke(workdir)
+            return smoke(workdir, trace=args.trace)
         quickstart(workdir)
         return 0
     finally:

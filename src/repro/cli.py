@@ -208,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--qubits", type=int, default=None,
                      help="override the application size (total qubits)")
     run.add_argument("--output", default=None, help="write the result as JSON")
+    _add_trace_argument(run)
     _add_config_arguments(run)
 
     sweep = subparsers.add_parser("sweep", help="regenerate a figure's data series")
@@ -223,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "persist there and interrupted sweeps resume without "
                             "recomputation")
     sweep.add_argument("--output", default=None, help="write the series as JSON")
+    _add_trace_argument(sweep)
 
     _add_dse_parsers(subparsers)
 
@@ -240,6 +242,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "REPRO_BUDGET_S)")
 
     return parser
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` flag (see :mod:`repro.obs`)."""
+
+    parser.add_argument("--trace", default=None, metavar="OUT.JSON",
+                        help="record a span trace of this command: writes "
+                             "Chrome-trace JSON (loadable in Perfetto or "
+                             "chrome://tracing) plus a flat .spans.jsonl and "
+                             "a .manifest.json run summary next to it")
 
 
 def _add_space_arguments(parser: argparse.ArgumentParser) -> None:
@@ -323,6 +335,7 @@ def _add_dse_parsers(subparsers) -> None:
     run.add_argument("--top", type=_positive_int, default=5,
                      help="rows to print in the summary table (default: 5)")
     run.add_argument("--output", default=None, help="write the records as JSON")
+    _add_trace_argument(run)
 
     dispatch = dse_sub.add_parser(
         "dispatch",
@@ -390,6 +403,7 @@ def _add_dse_parsers(subparsers) -> None:
                           help="write the manifest and print the per-machine "
                                "worker command lines instead of spawning "
                                "local workers (remote launch)")
+    _add_trace_argument(dispatch)
 
     worker = dse_sub.add_parser(
         "worker",
@@ -432,8 +446,11 @@ def _add_dse_parsers(subparsers) -> None:
                              "per-point wall_s timings (pending points come "
                              "from --space or the store's dispatch manifest)")
     status.add_argument("--workers", type=_positive_int, default=None,
-                        help="assume this many active workers for --eta "
-                             "(default: active leases, else 1)")
+                        nargs="?", const=0,
+                        help="show the per-worker telemetry of a dispatched "
+                             "run; with a count, additionally assume that "
+                             "many active workers for --eta (default: "
+                             "active leases, else 1)")
     status.add_argument("--by-strategy", action="store_true",
                         help="additionally break the stored points down by "
                              "the strategy that proposed them (schema v3 "
@@ -716,6 +733,8 @@ def _cmd_dse_status(args) -> int:
         print(f"  {source:24s} {count} rows")
     if store.skipped_lines:
         print(f"  (skipped {store.skipped_lines} truncated/corrupt lines)")
+        for source, count in sorted(store.skip_counts().items()):
+            print(f"    {source:24s} {count} skipped")
     apps = {}
     for record in store.records():
         apps[record.application] = apps.get(record.application, 0) + 1
@@ -727,6 +746,9 @@ def _cmd_dse_status(args) -> int:
         mean_s = sum(timings) / len(timings)
         print(f"Timings: {len(timings)}/{len(store)} rows carry wall_s, "
               f"mean {mean_s:.3f} s/point")
+
+    if getattr(args, "workers", None) is not None:
+        _print_worker_telemetry(store)
 
     if getattr(args, "by_strategy", False):
         _print_by_strategy(store)
@@ -747,6 +769,30 @@ def _cmd_dse_status(args) -> int:
     if getattr(args, "eta", False):
         return _print_eta(args, store, space, pending)
     return 0
+
+
+def _print_worker_telemetry(store) -> None:
+    """The ``dse status --workers`` tail: the dispatched fleet's telemetry."""
+
+    from repro.dse.dispatch import telemetry_summary
+
+    workers = telemetry_summary(store.directory)
+    if not workers:
+        print("\nWorkers: no telemetry recorded (the store was not "
+              "dispatched, or predates worker telemetry)")
+        return
+    print(f"\nWorkers ({len(workers)}):")
+    for owner, row in sorted(workers.items()):
+        state = "alive" if row["alive"] else "exited"
+        age = row["last_seen_age_s"]
+        age_note = f"{age:.1f}s ago" if age is not None else "never"
+        rate_note = (f", {row['points'] / row['wall_s']:.2f} points/s"
+                     if row["wall_s"] and row["points"] else "")
+        print(f"  {owner:28s} {state}; last {row['last_event'] or '-'} "
+              f"({age_note}); {row['done']} done / {row['lost']} lost of "
+              f"{row['claims']} claims, {row['renewals']} heartbeats; "
+              f"{row['points']} evaluated + {row['replayed']} replayed"
+              f"{rate_note}")
 
 
 def _print_by_strategy(store) -> None:
@@ -780,7 +826,9 @@ def _print_eta(args, store, space, pending) -> int:
     from repro.dse import DesignSpace, ShardLedger, estimate_eta_s
     from repro.dse.dispatch import DEFAULT_TTL_S, format_eta, read_manifest
 
-    active = args.workers
+    # --workers without a count (telemetry display, const 0) does not pin
+    # the ETA's active-worker count; only an explicit number does.
+    active = args.workers if args.workers else None
     manifest = None
     if space is None or active is None:
         # A dispatched store describes itself: the manifest names the space
@@ -1166,6 +1214,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 1
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return _dispatch_command(args, parser)
+    return _traced_command(args, parser, trace_path)
+
+
+def _traced_command(args, parser, trace_path) -> int:
+    """Run one subcommand under the span tracer and write the trace files.
+
+    The registry is reset first so the manifest's metrics snapshot covers
+    exactly this command.  Tracing never changes results: spans observe the
+    pipeline, and the store's canonical export is byte-identical with and
+    without ``--trace`` (pinned by CI's obs-smoke job).
+    """
+
+    from repro.obs import (disable_tracing, enable_tracing, reset_registry,
+                           write_trace)
+
+    reset_registry()
+    enable_tracing()
+    try:
+        code = _dispatch_command(args, parser)
+    finally:
+        tracer = disable_tracing()
+    config = {key: value for key, value in sorted(vars(args).items())
+              if key != "trace"}
+    try:
+        paths = write_trace(trace_path, tracer, config=config)
+    except OSError as exc:
+        print(f"error: cannot write trace {trace_path}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"Trace: {paths['trace']} ({len(tracer.spans)} spans; "
+          f"spans {paths['spans']}, manifest {paths['manifest']})")
+    return code
+
+
+def _dispatch_command(args, parser) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "table1":

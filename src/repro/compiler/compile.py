@@ -28,6 +28,7 @@ from repro.hardware.device import QCCDDevice
 from repro.ir.circuit import Circuit
 from repro.ir.gate import Gate, GateKind
 from repro.isa.program import QCCDProgram
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -103,15 +104,26 @@ def compile_circuit(circuit: Circuit, device: QCCDDevice,
     """Compile ``circuit`` for ``device`` and return the executable program."""
 
     options = options or CompilerOptions()
+    with span("compile", circuit=circuit.name, device=device.name,
+              mapping=options.mapping, routing=options.routing) as trace:
+        program = _compile_circuit(circuit, device, options)
+        trace.set(ops=len(program), shuttles=program.num_shuttles)
+        return program
+
+
+def _compile_circuit(circuit: Circuit, device: QCCDDevice,
+                     options: CompilerOptions) -> QCCDProgram:
     if options.lower_to_native:
-        circuit = circuit.lowered()
+        with span("compile.lower"):
+            circuit = circuit.lowered()
     if circuit.num_qubits > device.num_qubits:
         raise ValueError(
             f"circuit uses {circuit.num_qubits} qubits but the device only loads "
             f"{device.num_qubits} ions"
         )
 
-    state: PlacementState = options.mapping_fn()(circuit, device)
+    with span("compile.map", strategy=options.mapping):
+        state: PlacementState = options.mapping_fn()(circuit, device)
     placement = state.snapshot_placement()
     builder = ProgramBuilder()
 
@@ -146,16 +158,22 @@ def compile_circuit(circuit: Circuit, device: QCCDDevice,
 
     scheduler = GateScheduler(circuit, is_local=is_local,
                               two_qubit_operands=two_qubit_operands)
-    while not scheduler.done():
-        index = scheduler.next_gate()
-        moved_qubits = _emit_gate(circuit[index], builder, state, device, router)
-        if moved_qubits:
-            scheduler.note_qubits_moved(moved_qubits)
-        next_use.mark_emitted(index)
-        scheduler.mark_done(index)
+    # One span covers the interleaved schedule/route/reorder loop: gates are
+    # scheduled earliest-ready-first, routed (shuttle planning + chain
+    # reordering) and emitted in the same pass.
+    with span("compile.route", policy=options.routing,
+              gates=len(two_qubit_operands)):
+        while not scheduler.done():
+            index = scheduler.next_gate()
+            moved_qubits = _emit_gate(circuit[index], builder, state, device, router)
+            if moved_qubits:
+                scheduler.note_qubits_moved(moved_qubits)
+            next_use.mark_emitted(index)
+            scheduler.mark_done(index)
 
     if options.validate:
-        state.validate()
+        with span("compile.validate"):
+            state.validate()
 
     program = QCCDProgram(
         operations=builder.operations,

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import random
 
 from repro.dse.adaptive.model import PointEncoder, make_surrogate
 from repro.dse.space import DesignPoint, DesignSpace
+from repro.obs.metrics import registry as _metrics_registry
 
 #: Strategy names implemented by proposers (mirrored in STRATEGY_NAMES).
 PROPOSER_NAMES = ("bayes", "adaptive-halving")
@@ -60,6 +62,25 @@ def upper_confidence_bound(mean: float, std: float, beta: float = 2.0) -> float:
     """Optimism-in-the-face-of-uncertainty score ``mean + beta * std``."""
 
     return mean + beta * std
+
+
+def _record_proposal(batch: Optional[ProposalBatch], elapsed_s: float) -> None:
+    """Meter one ``next_batch`` call on the process metrics registry."""
+
+    if batch is None:
+        return
+    registry = _metrics_registry()
+    registry.counter("dse.propose.batches").inc()
+    registry.counter("dse.propose.points").inc(len(batch.keys))
+    registry.histogram("dse.propose.latency_s").observe(elapsed_s)
+
+
+def _record_ingest(values: Sequence[float]) -> None:
+    """Meter one ``ingest`` call on the process metrics registry."""
+
+    registry = _metrics_registry()
+    registry.counter("dse.ingest.batches").inc()
+    registry.counter("dse.ingest.values").inc(len(values))
 
 
 def default_max_evals(space_size: int, batch_size: int = 4) -> int:
@@ -168,6 +189,12 @@ class BayesProposer:
     def next_batch(self) -> Optional[ProposalBatch]:
         """The next batch to evaluate, or ``None`` when the budget is spent."""
 
+        started = perf_counter()
+        batch = self._next_batch()
+        _record_proposal(batch, perf_counter() - started)
+        return batch
+
+    def _next_batch(self) -> Optional[ProposalBatch]:
         remaining = self.max_evals - len(self._proposed)
         unproposed = [index for index in range(len(self.candidates))
                       if index not in self._proposed]
@@ -211,6 +238,7 @@ class BayesProposer:
         for key, value in zip(batch.keys, values):
             self._observed[key] = float(value)
             self._surrogate.observe(self._features[key], float(value))
+        _record_ingest(values)
 
     def best(self) -> Optional[Tuple[int, float]]:
         """``(candidate index, value)`` of the best observation (ties: earliest)."""
@@ -299,6 +327,12 @@ class AdaptiveHalvingProposer:
         return self._size_cap is not None and self._size >= self._size_cap
 
     def next_batch(self) -> Optional[ProposalBatch]:
+        started = perf_counter()
+        batch = self._next_batch()
+        _record_proposal(batch, perf_counter() - started)
+        return batch
+
+    def _next_batch(self) -> Optional[ProposalBatch]:
         if self._done:
             return None
         self._batches += 1
@@ -324,6 +358,7 @@ class AdaptiveHalvingProposer:
             raise ValueError(f"batch {batch.number} has {len(batch.keys)} "
                              f"points but {len(values)} values")
         scores = dict(zip(batch.keys, (float(v) for v in values)))
+        _record_ingest(values)
         if batch.proxy_qubits is None:
             self._final_scores = scores
             self._done = True
@@ -332,6 +367,7 @@ class AdaptiveHalvingProposer:
                                "kept": len(batch.keys)})
             return
         kept = self._promote(batch, scores)
+        _metrics_registry().counter("dse.rung.promotions").inc(len(kept))
         self.trace.append({"rung": self._rung,
                            "proxy_qubits": batch.proxy_qubits,
                            "proposed": len(batch.keys), "kept": len(kept)})

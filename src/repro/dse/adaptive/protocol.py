@@ -47,8 +47,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.dse.adaptive.propose import ProposalBatch, make_proposer
 from repro.dse.dispatch import (
     DEFAULT_TTL_S,
+    LeaseClock,
     LeaseDir,
     LeaseLost,
+    WorkerTelemetry,
     _filename_safe,
     default_owner,
     read_manifest,
@@ -59,6 +61,7 @@ from repro.dse.pareto import objective_value
 from repro.dse.runner import DSERunner
 from repro.dse.space import DesignSpace, point_from_spec
 from repro.dse.store import ExperimentStore, row_to_record
+from repro.obs.trace import span as _span
 
 #: Subdirectory of the store directory holding the proposal ledger.
 PROPOSAL_DIR = "proposals"
@@ -90,11 +93,13 @@ class ProposalLedger:
     and all payloads carry a content signature checked on read.
     """
 
-    def __init__(self, store_dir, *, ttl_s: float = DEFAULT_TTL_S) -> None:
+    def __init__(self, store_dir, *, ttl_s: float = DEFAULT_TTL_S,
+                 clock: Optional[LeaseClock] = None) -> None:
         self.store_dir = Path(store_dir)
         self.directory = self.store_dir / PROPOSAL_DIR
-        self.leases = LeaseDir(self.directory, ttl_s=ttl_s)
+        self.leases = LeaseDir(self.directory, ttl_s=ttl_s, clock=clock)
         self.ttl_s = self.leases.ttl_s
+        self.clock = self.leases.clock
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -373,18 +378,22 @@ def run_proposer(store_dir, *, manifest: Optional[Dict] = None,
 
     trace: List[Dict[str, object]] = []
     while True:
-        batch = proposer.next_batch()
-        if batch is None:
-            break
-        if batch.number in existing:
-            # Replay: verify the stored parts against the regenerated batch
-            # and rewrite any the dead proposer did not get to (a kill can
-            # land between the per-part renames of write_batch).
-            ledger.verify_or_repair_batch(batch, meta, parts=parts)
-        else:
-            ledger.write_batch(batch, meta, parts=parts)
-        values = _await_batch(store, index, batch, proposer,
-                              poll_s=poll_s, tick=tick)
+        with _span("dse.propose.batch") as batch_span:
+            batch = proposer.next_batch()
+            if batch is None:
+                break
+            batch_span.set(batch=batch.number, points=len(batch.keys))
+            if batch.number in existing:
+                # Replay: verify the stored parts against the regenerated
+                # batch and rewrite any the dead proposer did not get to (a
+                # kill can land between the per-part renames of write_batch).
+                ledger.verify_or_repair_batch(batch, meta, parts=parts)
+            else:
+                ledger.write_batch(batch, meta, parts=parts)
+        with _span("dse.propose.await", batch=batch.number,
+                   points=len(batch.keys)):
+            values = _await_batch(store, index, batch, proposer,
+                                  poll_s=poll_s, tick=tick)
         proposer.ingest(batch, values)
         trace.append(proposer.trace_entry(batch))
 
@@ -481,6 +490,9 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
     if idle_wait_s is None:
         idle_wait_s = max(0.05, min(1.0, ledger.ttl_s / 4))
 
+    telemetry = WorkerTelemetry(store_dir, owner, clock=ledger.clock)
+    telemetry.emit("worker_start", mode="adaptive", jobs=jobs,
+                   pid=os.getpid())
     cache = ProgramCache()
     completed: List[str] = []
     lost: List[str] = []
@@ -493,6 +505,8 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
                     break
                 time.sleep(idle_wait_s)
                 continue
+            telemetry.emit("claim", work=claimed)
+            part_started = time.perf_counter()
 
             payload = ledger.read_work(claimed)
             points = [point_from_spec(spec) for spec in payload["points"]]
@@ -501,6 +515,7 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
                 if not ledger.renew(name, owner):
                     raise LeaseLost(f"lease on proposal part {name} was "
                                     f"reclaimed from {owner}")
+                telemetry.emit("renew", work=name)
                 if throttle_s:
                     time.sleep(throttle_s)
 
@@ -521,9 +536,16 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
                 runner.evaluate(points)
             except LeaseLost:
                 lost.append(claimed)
+                telemetry.emit("lease_lost", work=claimed)
                 continue
             ledger.release(claimed, owner, done=True)
             completed.append(claimed)
+            telemetry.emit("done", work=claimed,
+                           points=runner.stats.get("evaluated", 0),
+                           replayed=runner.stats.get("reused", 0),
+                           wall_s=round(time.perf_counter() - part_started, 6))
+    telemetry.emit("worker_exit", completed=len(completed), lost=len(lost),
+                   counters=cache.metrics.counters())
     return {"owner": owner, "completed": completed, "lost": lost}
 
 

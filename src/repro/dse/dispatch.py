@@ -52,9 +52,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.dse.runner import DSERunner, Shard
 from repro.dse.space import DesignSpace
 from repro.dse.store import ExperimentStore
+from repro.obs.trace import span
 
 #: Subdirectory of the store directory holding lease and done files.
 LEASE_DIR = "leases"
+
+#: Subdirectory of the store directory holding per-worker telemetry JSONL.
+#: A subdirectory, not the store root: the store ingests every top-level
+#: ``*.jsonl`` as experiment rows, so telemetry must live one level down.
+TELEMETRY_DIR = "telemetry"
 
 #: Dispatch manifest file name inside the store directory.
 MANIFEST_NAME = "dispatch.json"
@@ -103,6 +109,37 @@ def _filename_safe(owner: str) -> str:
     return "".join(c if c.isalnum() or c in "-._" else "_" for c in owner)
 
 
+class LeaseClock:
+    """Single time source for every lease stamp and age computation.
+
+    Lease freshness is ``now - st_mtime``: one side of that subtraction
+    comes from the filesystem, so the other side must be the matching wall
+    clock -- and every write to the mtime must come from the same source,
+    or ages drift by whatever skew separates the readings.  Routing all of
+    it (claim stamps, heartbeats, expiry checks, status ages) through one
+    clock object keeps the arithmetic coherent and makes the whole lease
+    lifecycle drivable by a fake clock in tests: pass ``now_fn`` and both
+    the stamps written *and* the ages computed follow it.
+    """
+
+    def __init__(self, now_fn: Callable[[], float] = time.time) -> None:
+        self._now = now_fn
+
+    def now(self) -> float:
+        return float(self._now())
+
+    def touch(self, path) -> None:
+        """Stamp ``path``'s mtime with this clock's current reading."""
+
+        now = self.now()
+        os.utime(path, times=(now, now))
+
+    def age(self, path) -> float:
+        """Seconds since ``path``'s mtime (clamped non-negative)."""
+
+        return max(0.0, self.now() - os.stat(path).st_mtime)
+
+
 class LeaseDir:
     """Name-keyed lease files with atomic claim/renew/release semantics.
 
@@ -134,11 +171,13 @@ class LeaseDir:
     Read paths treat a missing directory as all-open.
     """
 
-    def __init__(self, directory, *, ttl_s: float = DEFAULT_TTL_S) -> None:
+    def __init__(self, directory, *, ttl_s: float = DEFAULT_TTL_S,
+                 clock: Optional[LeaseClock] = None) -> None:
         if ttl_s <= 0:
             raise ValueError("lease ttl_s must be positive")
         self.directory = Path(directory)
         self.ttl_s = float(ttl_s)
+        self.clock = clock if clock is not None else LeaseClock()
 
     # ------------------------------------------------------------------ #
     def lease_path(self, name: str) -> Path:
@@ -165,12 +204,12 @@ class LeaseDir:
         # files on the shared filesystem.  The atomic link below still has
         # the final word on races.
         try:
-            if time.time() - lease.stat().st_mtime <= self.ttl_s:
+            if self.clock.age(lease) <= self.ttl_s:
                 return False
         except FileNotFoundError:
             pass
         payload = json.dumps({"owner": owner, "work": name,
-                              "claimed_at": time.time()},
+                              "claimed_at": self.clock.now()},
                              sort_keys=True) + "\n"
         # The temp name must be unique per *owner*, not per pid: two hosts
         # sharing the store over NFS can easily collide on pid alone.
@@ -179,11 +218,16 @@ class LeaseDir:
         try:
             try:
                 os.link(tmp, lease)  # atomic create: fails iff already leased
+                # Stamp through the clock so the lease's birth heartbeat
+                # comes from the same source as every later age check (the
+                # link inherits the temp file's write-time mtime otherwise).
+                self.clock.touch(lease)
                 return True
             except FileExistsError:
                 if not self._expired(lease):
                     return False
                 os.replace(tmp, lease)  # atomic takeover of an expired lease
+                self.clock.touch(lease)
                 # Concurrent takeovers all rename successfully; the last
                 # rename wins, so confirm ownership by reading back.  The
                 # residual window only risks duplicated (idempotent,
@@ -194,7 +238,7 @@ class LeaseDir:
 
     def _expired(self, lease: Path) -> bool:
         try:
-            age = time.time() - lease.stat().st_mtime
+            age = self.clock.age(lease)
         except FileNotFoundError:
             # Released between the link attempt and now; a later claim pass
             # will take it fresh.
@@ -207,7 +251,7 @@ class LeaseDir:
         if self.owner_of(name) != owner:
             return False
         try:
-            os.utime(self.lease_path(name))
+            self.clock.touch(self.lease_path(name))
         except FileNotFoundError:
             return False
         return True
@@ -223,7 +267,7 @@ class LeaseDir:
         if done:
             tmp = self.directory / f".done-{name}.{_filename_safe(owner)}.tmp"
             tmp.write_text(json.dumps({"owner": owner,
-                                       "finished_at": time.time()},
+                                       "finished_at": self.clock.now()},
                                       sort_keys=True) + "\n")
             os.replace(tmp, self.done_path(name))
         if self.owner_of(name) == owner:
@@ -252,10 +296,9 @@ class LeaseDir:
         if self.is_done(name):
             return "done", None, None
         try:
-            mtime = self.lease_path(name).stat().st_mtime
+            age = self.clock.age(self.lease_path(name))
         except FileNotFoundError:
             return "open", None, None
-        age = max(0.0, time.time() - mtime)
         status = "expired" if age > self.ttl_s else "active"
         return status, self.owner_of(name), age
 
@@ -268,20 +311,22 @@ class ShardLedger:
     crash-recovery discipline.
     """
 
-    def __init__(self, directory, count: int, *, ttl_s: float = DEFAULT_TTL_S) -> None:
+    def __init__(self, directory, count: int, *, ttl_s: float = DEFAULT_TTL_S,
+                 clock: Optional[LeaseClock] = None) -> None:
         if count < 1:
             raise ValueError("shard count must be at least 1")
-        self._leases = LeaseDir(directory, ttl_s=ttl_s)
+        self._leases = LeaseDir(directory, ttl_s=ttl_s, clock=clock)
         self.directory = self._leases.directory
         self.count = int(count)
         self.ttl_s = self._leases.ttl_s
+        self.clock = self._leases.clock
 
     @classmethod
-    def for_store(cls, store_dir, count: int, *,
-                  ttl_s: float = DEFAULT_TTL_S) -> "ShardLedger":
+    def for_store(cls, store_dir, count: int, *, ttl_s: float = DEFAULT_TTL_S,
+                  clock: Optional[LeaseClock] = None) -> "ShardLedger":
         """The ledger living inside an experiment-store directory."""
 
-        return cls(Path(store_dir) / LEASE_DIR, count, ttl_s=ttl_s)
+        return cls(Path(store_dir) / LEASE_DIR, count, ttl_s=ttl_s, clock=clock)
 
     # ------------------------------------------------------------------ #
     def _check_index(self, index: int) -> None:
@@ -365,6 +410,122 @@ class ShardLedger:
             if self.claim(index, owner):
                 return self.shard(index)
         return None
+
+
+# --------------------------------------------------------------------------- #
+# Worker telemetry: append-only JSONL event logs under <store>/telemetry/.
+# --------------------------------------------------------------------------- #
+class WorkerTelemetry:
+    """One worker's append-only event log inside the store directory.
+
+    Each worker owns exactly one file, ``<store>/telemetry/<owner>.jsonl``,
+    and only ever appends to it -- the same single-writer-per-file
+    discipline the experiment store uses, so no cross-process locking is
+    needed.  Events record the lease lifecycle (claims, heartbeat renewals,
+    losses, completions) and worker start/exit, each stamped by the shared
+    :class:`LeaseClock`; :func:`telemetry_summary` folds the directory
+    union into a per-worker fleet view for ``repro dse status --workers``.
+    """
+
+    def __init__(self, store_dir, owner: str, *,
+                 clock: Optional[LeaseClock] = None) -> None:
+        self.owner = owner
+        self.clock = clock if clock is not None else LeaseClock()
+        self.directory = Path(store_dir) / TELEMETRY_DIR
+        self.path = self.directory / f"{_filename_safe(owner)}.jsonl"
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event record (creates the directory lazily)."""
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        record = {"t": self.clock.now(), "owner": self.owner, "event": event}
+        record.update(fields)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_telemetry(store_dir) -> List[Dict[str, object]]:
+    """All telemetry events of a store, ordered by timestamp.
+
+    Torn or garbled lines (a live worker's in-flight append) are skipped,
+    mirroring the store's tolerance for its own tail lines.
+    """
+
+    directory = Path(store_dir) / TELEMETRY_DIR
+    events: List[Dict[str, object]] = []
+    if not directory.is_dir():
+        return events
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+    events.sort(key=lambda r: (r.get("t") or 0.0, str(r.get("owner", ""))))
+    return events
+
+
+def telemetry_summary(store_dir, *,
+                      now: Optional[float] = None) -> Dict[str, Dict[str, object]]:
+    """Fold the telemetry logs into one row per worker.
+
+    Each row counts lease claims, heartbeat renewals, losses and completed
+    work units, accumulates evaluated/replayed point totals and shard wall
+    time (throughput = points / wall_s), and reports the age of the
+    worker's most recent event (``last_seen_age_s``) -- the fleet-level
+    analogue of a lease heartbeat age.  ``alive`` tracks worker_start /
+    worker_exit markers; a worker that died without its exit marker shows
+    ``alive`` with a growing ``last_seen_age_s``.
+    """
+
+    workers: Dict[str, Dict[str, object]] = {}
+    for record in read_telemetry(store_dir):
+        owner = record.get("owner")
+        if not isinstance(owner, str) or not owner:
+            continue
+        row = workers.setdefault(owner, {
+            "claims": 0, "renewals": 0, "lost": 0, "done": 0,
+            "points": 0, "replayed": 0, "wall_s": 0.0,
+            "alive": False, "last_event": None, "last_seen_t": None,
+        })
+        event = record.get("event")
+        if event == "claim":
+            row["claims"] += 1
+        elif event == "renew":
+            row["renewals"] += 1
+        elif event == "lease_lost":
+            row["lost"] += 1
+        elif event == "done":
+            row["done"] += 1
+            row["points"] += int(record.get("points") or 0)
+            row["replayed"] += int(record.get("replayed") or 0)
+            row["wall_s"] += float(record.get("wall_s") or 0.0)
+        elif event == "worker_start":
+            row["alive"] = True
+        elif event == "worker_exit":
+            row["alive"] = False
+        row["last_event"] = event
+        t = record.get("t")
+        if isinstance(t, (int, float)):
+            last = row["last_seen_t"]
+            if last is None or t > last:
+                row["last_seen_t"] = float(t)
+    if now is None:
+        now = time.time()
+    for row in workers.values():
+        last = row.pop("last_seen_t")
+        row["last_seen_age_s"] = (max(0.0, now - last)
+                                  if last is not None else None)
+    return workers
 
 
 # --------------------------------------------------------------------------- #
@@ -496,6 +657,9 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
     if idle_wait_s is None:
         idle_wait_s = max(0.05, min(1.0, ledger.ttl_s / 4))
 
+    telemetry = WorkerTelemetry(store_dir, owner, clock=ledger.clock)
+    telemetry.emit("worker_start", mode="shards", shards=ledger.count,
+                   jobs=jobs, pid=os.getpid())
     cache = ProgramCache()
     completed: List[int] = []
     lost: List[int] = []
@@ -508,11 +672,14 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
             # belong to a dead worker, so wait for expiry instead of exiting.
             time.sleep(idle_wait_s)
             continue
+        telemetry.emit("claim", work=shard.name)
+        shard_started = time.perf_counter()
 
-        def heartbeat(index: int = shard.index) -> None:
+        def heartbeat(index: int = shard.index, name: str = shard.name) -> None:
             if not ledger.renew(index, owner):
                 raise LeaseLost(f"lease on shard {index}/{ledger.count} was "
                                 f"reclaimed from {owner}")
+            telemetry.emit("renew", work=name)
             if throttle_s:
                 time.sleep(throttle_s)
 
@@ -531,12 +698,20 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
                                cache=cache, circuits=circuits,
                                heartbeat=heartbeat)
             try:
-                runner.evaluate_space()
+                with span("dse.shard", shard=shard.name, owner=owner):
+                    runner.evaluate_space()
             except LeaseLost:
                 lost.append(shard.index)
+                telemetry.emit("lease_lost", work=shard.name)
                 continue
         ledger.release(shard.index, owner, done=True)
         completed.append(shard.index)
+        telemetry.emit("done", work=shard.name,
+                       points=runner.stats.get("evaluated", 0),
+                       replayed=runner.stats.get("reused", 0),
+                       wall_s=round(time.perf_counter() - shard_started, 6))
+    telemetry.emit("worker_exit", completed=len(completed), lost=len(lost),
+                   counters=cache.metrics.counters())
     return {"owner": owner, "completed": completed, "lost": lost}
 
 
@@ -721,6 +896,7 @@ class Dispatcher:
             "points_pending": pending,
             "shards": counts,
             "eta_s": eta_s,
+            "workers": telemetry_summary(self.store_dir),
         }
 
     def _alive(self) -> List[subprocess.Popen]:
@@ -751,6 +927,17 @@ class Dispatcher:
         unfinished and the respawn budget exhausted.
         """
 
+        with span("dse.dispatch", workers=self.workers,
+                  shards=self.shards) as trace:
+            summary = self._run(timeout_s=timeout_s, on_progress=on_progress,
+                                progress_interval_s=progress_interval_s)
+            trace.set(complete=summary["complete"], points=summary["points"],
+                      respawned=summary["respawned"])
+            return summary
+
+    def _run(self, *, timeout_s: Optional[float],
+             on_progress: Optional[Callable[[Dict[str, object]], None]],
+             progress_interval_s: float) -> Dict[str, object]:
         self.prepare()
         started = time.monotonic()
         self._procs = [self.spawn_worker() for _ in range(self.workers)]

@@ -35,6 +35,8 @@ from repro.dse.store import (
 )
 from repro.io.fingerprint import design_point_fingerprint
 from repro.ir.circuit import Circuit
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.trace import span
 from repro.toolflow.parallel import ProgramCache, SweepTask, iter_tasks
 
 
@@ -195,6 +197,19 @@ class DSERunner:
         """
 
         points = list(points)
+        before = dict(self.stats)
+        with span("dse.evaluate", points=len(points)) as trace:
+            results = self._evaluate(points)
+            trace.set(evaluated=self.stats["evaluated"] - before["evaluated"],
+                      reused=self.stats["reused"] - before["reused"])
+        registry = _metrics_registry()
+        for key in ("evaluated", "reused", "skipped"):
+            delta = self.stats[key] - before[key]
+            if delta:
+                registry.counter(f"dse.points.{key}").inc(delta)
+        return results
+
+    def _evaluate(self, points: List[DesignPoint]) -> List[object]:
         fingerprints = [self.fingerprint(point) for point in points]
 
         # Slot plan: cached rows replay, duplicates alias the first

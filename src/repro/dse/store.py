@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
 from repro.dse.space import DesignPoint, point_from_spec
+from repro.obs.metrics import registry as _metrics_registry
 
 #: Default writer file name (shard writers use ``shard-<i>of<N>.jsonl``).
 DEFAULT_WRITER = "results"
@@ -264,6 +265,7 @@ class ExperimentStore:
         # tentative -- it evaporates when a later scan finds the line
         # completed -- and must not accumulate across reload ticks.
         self._skipped = 0
+        self._skip_counts: Dict[str, int] = {}
         self._tail_skips: Dict[str, bool] = {}
         # Incremental-reload bookkeeping, all keyed by file name: bytes
         # consumed (advanced only past newline-terminated lines), lines
@@ -354,6 +356,11 @@ class ExperimentStore:
                                        check_schema_version)
             if reason is not None:
                 self._skipped += 1
+                self._skip_counts[name] = self._skip_counts.get(name, 0) + 1
+                # Mirrored into the process-wide metrics registry so
+                # telemetry surfaces corruption without anyone having to
+                # catch StoreCorruptionWarning.
+                _metrics_registry().counter("store.lines_skipped").inc()
                 pending = (lineno, reason)
         self._offsets[name] = start + cut
         self._linenos[name] = lineno
@@ -461,6 +468,7 @@ class ExperimentStore:
         self._tail_skips.clear()
         self._pending_warn.clear()
         self._skipped = 0
+        self._skip_counts.clear()
         self._load()
 
     # ------------------------------------------------------------------ #
@@ -473,6 +481,20 @@ class ExperimentStore:
 
         return self._skipped + sum(1 for skip in self._tail_skips.values()
                                    if skip)
+
+    def skip_counts(self) -> Dict[str, int]:
+        """Skipped-line totals per store file (tentative tail skips included).
+
+        What ``dse status`` prints: every corrupt file is named with its
+        skip count, instead of the information living only in
+        :class:`StoreCorruptionWarning` messages as they scroll past.
+        """
+
+        counts = dict(self._skip_counts)
+        for name, skip in self._tail_skips.items():
+            if skip:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
 
     def __len__(self) -> int:
         return len(self._rows)

@@ -1,0 +1,73 @@
+"""Observability: span tracing, a metrics registry, and trace export.
+
+The stack runs distributed, adaptive searches over process pools and a
+lease-coordinated worker fleet; this package is the telemetry layer that
+makes those executions debuggable:
+
+* :mod:`~repro.obs.trace` -- context-manager spans
+  (``with span("compile.route", gates=n):``) with ContextVar parenting and
+  ``perf_counter`` timings; a zero-overhead no-op while tracing is
+  disabled, which is the default.
+* :mod:`~repro.obs.metrics` -- process-wide counters/gauges/histograms
+  with snapshot/delta/merge, generalising the hand-rolled
+  ``ProgramCache.stats()`` / ``BatchPlan.stats()`` counter plumbing so
+  pool workers and dispatched workers aggregate identically for any
+  ``--jobs``.
+* :mod:`~repro.obs.export` -- Chrome trace-event JSON (loads in
+  Perfetto), flat span JSONL, and a per-run manifest (config fingerprint,
+  schema versions, phase timings, metrics snapshot).
+
+``repro run|sweep|dse run|dse dispatch --trace out.json`` enables tracing
+for one command and writes the bundle; span/metric naming conventions and
+the export schemas are documented in ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    config_fingerprint,
+    run_manifest,
+    spans_jsonl,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    CounterDict,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "CounterDict",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "config_fingerprint",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "registry",
+    "reset_registry",
+    "run_manifest",
+    "span",
+    "spans_jsonl",
+    "validate_chrome_trace",
+    "write_trace",
+]

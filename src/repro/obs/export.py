@@ -1,0 +1,187 @@
+"""Trace export: Chrome trace-event JSON, flat span JSONL, run manifest.
+
+Three views of one :class:`~repro.obs.trace.Tracer`:
+
+* :func:`chrome_trace` -- the Chrome trace-event format (``traceEvents``
+  with complete ``"ph": "X"`` events, microsecond ``ts``/``dur``), which
+  loads directly in Perfetto / ``chrome://tracing``.
+* :func:`spans_jsonl` -- one flat JSON object per span (the
+  ``Span.to_dict`` schema), for grep/jq-style analysis.
+* :func:`run_manifest` -- what produced the trace: config fingerprint,
+  schema versions, per-phase timing totals and a metrics snapshot.
+
+:func:`write_trace` writes all three next to each other
+(``out.json`` + ``out.spans.jsonl`` + ``out.manifest.json``) and is what
+the ``--trace`` CLI flag calls.  :func:`validate_chrome_trace` is the
+schema check used by the tests and the CI ``obs-smoke`` job.
+
+None of this touches experiment data: traces are a side channel, and the
+canonical store export stays byte-identical with tracing enabled (CI
+enforces this against the committed golden export).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "chrome_trace",
+    "config_fingerprint",
+    "run_manifest",
+    "spans_jsonl",
+    "validate_chrome_trace",
+    "write_trace",
+]
+
+#: Version of the span/manifest schemas (independent of the store's
+#: row ``SCHEMA_VERSION``; bump when the exported shapes change).
+TRACE_SCHEMA_VERSION = 1
+
+#: Keys every Chrome trace event emitted here must carry.
+_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def config_fingerprint(payload: object) -> str:
+    """SHA-256 over the canonical JSON of a run's configuration."""
+
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, object]:
+    """The tracer's spans in Chrome trace-event JSON (Perfetto-loadable)."""
+
+    events: List[Dict[str, object]] = []
+    for item in tracer.spans:
+        args = dict(item.attrs)
+        args["span_id"] = item.span_id
+        if item.parent_id is not None:
+            args["parent_id"] = item.parent_id
+        events.append({
+            "name": item.name,
+            "cat": item.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": round((item.start_s - tracer.origin_s) * 1e6, 3),
+            "dur": round(item.duration_s * 1e6, 3),
+            "pid": item.pid,
+            "tid": item.tid,
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "epoch_s": tracer.epoch_s,
+            "hostname": socket.gethostname(),
+        },
+    }
+
+
+def spans_jsonl(tracer: Tracer) -> str:
+    """Flat span JSONL text (one ``Span.to_dict`` object per line)."""
+
+    lines = [json.dumps(item.to_dict(tracer.origin_s), sort_keys=True,
+                        default=str)
+             for item in tracer.spans]
+    return "".join(line + "\n" for line in lines)
+
+
+def run_manifest(tracer: Tracer, *,
+                 metrics: Optional[MetricsRegistry] = None,
+                 config: Optional[object] = None,
+                 extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """The per-run manifest: fingerprint, schema versions, phase timings."""
+
+    from repro.io.serialization import SCHEMA_VERSION
+
+    metrics = metrics if metrics is not None else registry()
+    manifest: Dict[str, object] = {
+        "trace_schema": TRACE_SCHEMA_VERSION,
+        "store_schema_version": SCHEMA_VERSION,
+        "config_fingerprint": config_fingerprint(config),
+        "created_epoch_s": tracer.epoch_s,
+        "hostname": socket.gethostname(),
+        "pid": tracer.pid,
+        "num_spans": len(tracer.spans),
+        "phase_timings": tracer.phase_timings(),
+        "metrics": metrics.snapshot(),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_trace(path, tracer: Tracer, *,
+                metrics: Optional[MetricsRegistry] = None,
+                config: Optional[object] = None,
+                extra: Optional[Dict[str, object]] = None) -> Dict[str, Path]:
+    """Write the trace bundle for one run; returns the three paths.
+
+    ``out.json`` gets the Chrome trace; the span JSONL and the manifest go
+    to ``out.spans.jsonl`` and ``out.manifest.json`` beside it.
+    """
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    stem = path.name[:-len(".json")] if path.name.endswith(".json") \
+        else path.name
+    spans_path = path.with_name(f"{stem}.spans.jsonl")
+    manifest_path = path.with_name(f"{stem}.manifest.json")
+    payload = chrome_trace(tracer)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=str) + "\n")
+    spans_path.write_text(spans_jsonl(tracer))
+    manifest = run_manifest(tracer, metrics=metrics, config=config,
+                            extra=extra)
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True,
+                                        default=str) + "\n")
+    return {"trace": path, "spans": spans_path, "manifest": manifest_path}
+
+
+def validate_chrome_trace(payload: Dict[str, object]) -> int:
+    """Check a Chrome-trace payload's schema; returns the event count.
+
+    Raises ``ValueError`` naming the first violation.  Used by the span
+    round-trip tests and the CI ``obs-smoke`` job to guarantee the emitted
+    trace actually loads in Perfetto-compatible viewers.
+    """
+
+    if not isinstance(payload, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace must carry a 'traceEvents' list")
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{position}] is not an object")
+        for key in _EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"traceEvents[{position}] lacks {key!r}")
+        if not isinstance(event["name"], str) or not event["name"]:
+            raise ValueError(f"traceEvents[{position}] has an empty name")
+        if event["ph"] == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(
+                    f"traceEvents[{position}] ('{event['name']}') has a "
+                    f"missing or negative 'dur'")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(
+                f"traceEvents[{position}] ('{event['name']}') has a "
+                f"non-numeric 'ts'")
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int):
+                raise ValueError(
+                    f"traceEvents[{position}] ('{event['name']}') has a "
+                    f"non-integer {key!r}")
+    return len(events)

@@ -1,0 +1,195 @@
+"""Span-based tracing with a zero-overhead disabled path.
+
+The tracer answers one question about a run: *where did the wall time go?*
+Call sites wrap units of work in ``with span("compile.route", gates=n):``;
+when tracing is enabled the block becomes a :class:`Span` carrying
+``perf_counter`` start/end times, process/thread ids and a parent link, and
+when tracing is disabled (the default) ``span()`` returns one shared
+do-nothing context manager -- no allocation, no clock read, no ContextVar
+touch -- so instrumented hot paths cost a dict build and a global load.
+The ``bench_obs`` smoke pins that cost below 1% of the 96-point
+``bench_pipeline_scale`` sweep.
+
+Parenting uses a :class:`contextvars.ContextVar`, so nesting follows the
+call stack (including across threads, each of which sees its own chain).
+Process-pool workers inherit the enabled flag on fork but their spans stay
+in the worker process; cross-process telemetry instead flows through
+:mod:`repro.obs.metrics` deltas and the dispatcher's worker telemetry
+files (:mod:`repro.dse.dispatch`).
+
+Span ids are small per-tracer integers (allocation order), so traces of a
+deterministic run are structurally reproducible; only the timings vary.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextvars import ContextVar
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "span",
+]
+
+#: Parent span id of the current execution context (``None`` at top level).
+_PARENT: ContextVar[Optional[int]] = ContextVar("repro_obs_parent",
+                                                default=None)
+
+#: The installed tracer; ``None`` means tracing is disabled.  Read on every
+#: ``span()`` call, so the disabled fast path is one global load and an
+#: ``is None`` test.
+_TRACER: Optional["Tracer"] = None
+
+
+class _NullSpan:
+    """The shared disabled-mode span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed unit of work; a context manager recording itself on exit.
+
+    ``start_s``/``end_s`` are ``perf_counter`` readings; subtract the owning
+    tracer's ``origin_s`` for run-relative time.  ``attrs`` holds the call
+    site's keyword annotations plus anything added through :meth:`set`; an
+    exception escaping the block is recorded as ``attrs["error"]``.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "pid", "tid",
+                 "start_s", "end_s", "attrs", "_tracer", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id: Optional[int] = None
+        self.pid = tracer.pid
+        self.tid = threading.get_ident()
+        self.start_s: float = 0.0
+        self.end_s: float = 0.0
+        self.attrs = attrs
+        self._tracer = tracer
+        self._token = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach annotations mid-block (counts known only at the end)."""
+
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.parent_id = _PARENT.get()
+        self._token = _PARENT.set(self.span_id)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_s = time.perf_counter()
+        _PARENT.reset(self._token)
+        if exc_type is not None:
+            self.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        self._tracer.spans.append(self)
+        return False
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self, origin_s: float = 0.0) -> Dict[str, object]:
+        """The span as the flat-JSONL schema (times relative to origin)."""
+
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "start_s": self.start_s - origin_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects finished spans for one run of the pipeline.
+
+    ``epoch_s`` (wall clock) and ``origin_s`` (``perf_counter``) are read
+    together at construction, anchoring the monotonic span times to real
+    time for the export manifest.
+    """
+
+    def __init__(self) -> None:
+        self.epoch_s = time.time()
+        self.origin_s = time.perf_counter()
+        self.pid = os.getpid()
+        self.spans: List[Span] = []
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attrs) -> Span:
+        with self._lock:
+            self._next_id += 1
+            span_id = self._next_id
+        return Span(self, name, span_id, attrs)
+
+    def phase_timings(self) -> Dict[str, Dict[str, float]]:
+        """Total duration and call count per span name (manifest summary)."""
+
+        timings: Dict[str, Dict[str, float]] = {}
+        for item in self.spans:
+            entry = timings.setdefault(item.name, {"count": 0,
+                                                   "total_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += item.duration_s
+        return timings
+
+
+def span(name: str, **attrs):
+    """A context manager timing one unit of work (no-op when disabled)."""
+
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def enable_tracing() -> Tracer:
+    """Install (and return) a fresh process-wide tracer."""
+
+    global _TRACER
+    _TRACER = Tracer()
+    return _TRACER
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Uninstall the tracer, returning it (with its spans) if one was set."""
+
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    return tracer
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+
+    return _TRACER

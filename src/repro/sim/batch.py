@@ -65,6 +65,7 @@ from repro.isa.program import QCCDProgram
 from repro.models.fidelity import FidelityModel
 from repro.models.gate_times import GateImplementation
 from repro.models.heating import HeatingModel
+from repro.obs.trace import span
 from repro.sim.engine import (
     _CODE_TO_KIND,
     _GATE_1Q,
@@ -584,12 +585,19 @@ def _run_specs(program: QCCDProgram, specs: Sequence[Tuple],
 
     had_plan = getattr(program, "_batch_plan", None) is not None and \
         program._batch_plan.operations is program.operations
-    plan = batch_plan(program)
+    with span("sim.batch.plan", reused=had_plan,
+              circuit=program.circuit_name):
+        plan = batch_plan(program)
     timelines_before = plan.timelines_built
     hits_before = plan.timeline_hits
 
-    results = [_evaluate(plan, program, gate, model, trap_names, with_breakdown)
-               for gate, model in specs]
+    with span("sim.batch.variants", circuit=program.circuit_name,
+              variants=len(specs)) as trace:
+        results = [_evaluate(plan, program, gate, model, trap_names,
+                             with_breakdown)
+                   for gate, model in specs]
+        trace.set(timelines=plan.timelines_built - timelines_before,
+                  timeline_hits=plan.timeline_hits - hits_before)
 
     if stats is not None:
         stats["plans"] = stats.get("plans", 0) + (0 if had_plan else 1)

@@ -42,6 +42,7 @@ from repro.isa.program import QCCDProgram
 from repro.models.fidelity import FidelityModel
 from repro.models.gate_times import gate_time
 from repro.models.heating import HeatingModel
+from repro.obs.trace import span
 from repro.sim.results import OperationRecord, SimulationResult
 
 # --------------------------------------------------------------------------- #
@@ -271,6 +272,14 @@ def simulate(program: QCCDProgram, device: QCCDDevice, *,
         computation versus communication time split of Figure 6b.
     """
 
+    with span("sim.simulate", circuit=program.circuit_name,
+              ops=len(program), gate=device.gate.value):
+        return _simulate(program, device, keep_timeline=keep_timeline,
+                         with_breakdown=with_breakdown)
+
+
+def _simulate(program: QCCDProgram, device: QCCDDevice, *,
+              keep_timeline: bool, with_breakdown: bool) -> SimulationResult:
     records, resource_names = _op_records(program)
     durations = _durations(program, records, device)
     num_ops = len(records)

@@ -49,6 +49,8 @@ from repro.models.gate_times import GateImplementation
 from repro.io.fingerprint import circuit_fingerprint
 from repro.ir.circuit import Circuit
 from repro.isa.program import QCCDProgram
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.sim.batch import simulate_gate_variants
 from repro.sim.engine import simulate
 from repro.toolflow.config import ArchitectureConfig
@@ -61,17 +63,34 @@ class ProgramCache:
     The cached device is the one the program was compiled for; requests for a
     different gate implementation receive ``device.with_gate(...)`` copies,
     mirroring :func:`~repro.toolflow.runner.run_gate_variants`.
+
+    Counters live in a :class:`~repro.obs.metrics.MetricsRegistry` (one per
+    cache by default, so separate sweeps count independently) under the
+    names ``cache.hits``, ``cache.misses`` and ``cache.batch.*`` -- the
+    same names worker telemetry and the ``--trace`` manifest report.
+    :meth:`stats` presents them under the legacy flat keys, so the printed
+    sweep summary is byte-stable.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._programs: Dict[Tuple, Tuple[QCCDProgram, QCCDDevice]] = {}
-        self.hits = 0
-        self.misses = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
         #: Batch-simulation activity against programs of this cache, in the
         #: key scheme of :func:`repro.sim.batch.simulate_batch`'s ``stats``
         #: parameter (``plans``/``plan_reuses``/``variants``/``timelines``/
-        #: ``timeline_hits``).
-        self.batch: Dict[str, int] = {}
+        #: ``timeline_hits``) -- a dict facade over ``cache.batch.*``
+        #: registry counters.
+        self.batch = self.metrics.dict_view("cache.batch.")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     def __len__(self) -> int:
         return len(self._programs)
@@ -110,7 +129,7 @@ class ProgramCache:
         key = self.key_for(circuit, config, options)
         entry = self._programs.get(key)
         if entry is not None:
-            self.hits += 1
+            self._hits.inc()
             program, device = entry
             # The cached program is valid for any gate implementation and any
             # physical-model parameters (neither affects compilation), but the
@@ -120,7 +139,7 @@ class ProgramCache:
             if device.gate is not gate or device.model != config.model:
                 device = replace(device, gate=gate, model=config.model, name="")
             return program, device
-        self.misses += 1
+        self._misses.inc()
         device = config.build_device(circuit.num_qubits)
         program = compile_circuit(circuit, device, options)
         self._programs[key] = (program, device)
@@ -164,8 +183,8 @@ class ProgramCache:
         process-local and are not merged).
         """
 
-        self.hits += delta.get("hits", 0)
-        self.misses += delta.get("misses", 0)
+        self._hits.inc(delta.get("hits", 0))
+        self._misses.inc(delta.get("misses", 0))
         batch = self.batch
         for stat_key, raw_key in (("batch_plans", "plans"),
                                   ("batch_plan_reuses", "plan_reuses"),
@@ -210,6 +229,12 @@ def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]
     that materialises per-operation timelines.
     """
 
+    with span("sweep.task", app=task.circuit.name,
+              gates=len(task.gates) if task.gates else 1):
+        return _execute_task(task, cache)
+
+
+def _execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]:
     compile_start = perf_counter()
     program, device = cache.get_or_compile(task.circuit, task.config, task.options)
     compile_s = perf_counter() - compile_start
