@@ -1,0 +1,346 @@
+"""Codebase determinism linter (stdlib ``ast``): rules DT001..DT005.
+
+The repo's tier-1 guarantee is byte-identical exports across serial,
+parallel and dispatched execution.  Each rule here bans one way that
+guarantee has historically been (or could be) broken:
+
+* ``DT001`` -- module-level ``random.*`` calls and unseeded
+  ``random.Random()``.  All randomness must flow from an explicit seed.
+* ``DT002`` -- raw ``time.time()`` / ``datetime.now()`` outside
+  ``repro.obs`` and ``LeaseClock``.  Wall-clock reads must route through
+  the injectable clock so fake-clock tests and lease arithmetic hold.
+* ``DT003`` -- iterating a bare ``set`` (for loops and comprehension
+  sources).  Set iteration order is hash-randomized across processes;
+  order-insensitive consumers (``sorted``/``min``/``max``/``sum``/``len``/
+  ``any``/``all``/``set``/``frozenset``, membership tests) are exempt.
+* ``DT004`` -- public payload builders in ``io/serialization.py``
+  (``*_to_dict`` / ``*_to_json``) must stamp ``schema_version``.
+* ``DT005`` (warning) -- ``span()`` names must follow the
+  ``docs/observability.md`` convention: dotted lowercase with a known
+  category (``compile|sim|sweep|dse|check``) first.
+
+Suppression: a ``# repro: allow DT003`` comment (comma-separated ids) on
+the offending line or the line above disables those checks there.  Every
+suppression is greppable; the satellite policy is to *fix* findings in
+``src/repro`` rather than allowlist them, so the tree carries only the
+handful documented in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.analyze.diagnostics import Report, diag
+
+#: Call targets whose argument may be an unordered set: they either do not
+#: observe iteration order or impose their own.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+})
+
+#: Wall-clock reads banned outside the clock abstraction (resolved dotted
+#: names after import-alias expansion).
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_SPAN_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+_SPAN_CATEGORIES = frozenset({"compile", "sim", "sweep", "dse", "check"})
+
+_SUPPRESS = re.compile(r"#\s*repro:\s*allow\s+([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
+
+_PAYLOAD_DEF = re.compile(r".*_to_(dict|json)$")
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> Report:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+
+    report = Report()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files = sorted(p for p in path.rglob("*.py")
+                           if "__pycache__" not in p.parts)
+        else:
+            files = [path]
+        for file in files:
+            report.extend(lint_source(file.read_text(encoding="utf-8"),
+                                      str(file)))
+    return report
+
+
+def lint_source(source: str, path: str = "<string>") -> Report:
+    """Lint one module's source text; ``path`` labels the findings."""
+
+    report = Report()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.add(diag("DT001", f"could not parse: {exc.msg}",
+                        location=f"{path}:{exc.lineno or 0}",
+                        hint="fix the syntax error so the file can be "
+                             "analysed", severity="error"))
+        return report
+    suppressed = _suppressions(source)
+    linter = _Linter(path, suppressed, report)
+    linter.visit(tree)
+    if _is_serialization_module(path):
+        _check_schema_version(tree, path, suppressed, report)
+    return report
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    lines: Dict[int, Set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(line)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",")}
+            lines[number] = ids
+    return lines
+
+
+def _is_serialization_module(path: str) -> bool:
+    parts = Path(path).parts
+    return len(parts) >= 2 and parts[-2] == "io" \
+        and parts[-1] == "serialization.py"
+
+
+def _in_obs(path: str) -> bool:
+    return "obs" in Path(path).parts
+
+
+class _Linter(ast.NodeVisitor):
+    """One pass over a module: DT001/DT002/DT003/DT005."""
+
+    def __init__(self, path: str, suppressed: Dict[int, Set[str]],
+                 report: Report) -> None:
+        self.path = path
+        self.suppressed = suppressed
+        self.report = report
+        self.aliases: Dict[str, str] = {}
+        # Names bound to set values in the current scope (module or the
+        # innermost function); conservative but enough for the repo idiom
+        # of building a set and iterating it a few lines later.
+        self.set_names: List[Set[str]] = [set()]
+        self.clock_exempt = _in_obs(path)
+        self._lease_clock_depth = 0
+        # Comprehensions passed directly to an order-insensitive call are
+        # exempt from DT003 even when they draw from a set.
+        self._exempt_comprehensions: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    def _flag(self, check_id: str, node: ast.AST, message: str,
+              hint: str) -> None:
+        line = getattr(node, "lineno", 0)
+        for probe in (line, line - 1):
+            ids = self.suppressed.get(probe)
+            if ids and check_id in ids:
+                return
+        self.report.add(diag(check_id, message,
+                             location=f"{self.path}:{line}", hint=hint))
+
+    # --- imports ------------------------------------------------------- #
+    def visit_Import(self, node: ast.Import) -> None:
+        for name in node.names:
+            self.aliases[name.asname or name.name.split(".")[0]] = name.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for name in node.names:
+                if name.name != "*":
+                    self.aliases[name.asname or name.name] = \
+                        f"{node.module}.{name.name}"
+        self.generic_visit(node)
+
+    def _resolved(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of ``node`` with import aliases expanded."""
+
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # --- scopes -------------------------------------------------------- #
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.set_names.append(set())
+        self.generic_visit(node)
+        self.set_names.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_clock = node.name == "LeaseClock"
+        if is_clock:
+            self._lease_clock_depth += 1
+        self.set_names.append(set())
+        self.generic_visit(node)
+        self.set_names.pop()
+        if is_clock:
+            self._lease_clock_depth -= 1
+
+    # --- assignments: track set-valued names --------------------------- #
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                scope = self.set_names[-1]
+                if is_set:
+                    scope.add(target.id)
+                else:
+                    scope.discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            scope = self.set_names[-1]
+            if self._is_set_expr(node.value):
+                scope.add(node.target.id)
+            else:
+                scope.discard(node.target.id)
+        self.generic_visit(node)
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self.set_names)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return self._is_set_expr(node.left) \
+                and self._is_set_expr(node.right)
+        return False
+
+    # --- DT003: iteration sites ---------------------------------------- #
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+
+    def _visit_comprehension_node(self, node) -> None:
+        if id(node) not in self._exempt_comprehensions:
+            for generator in node.generators:
+                self._check_iteration(generator.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension_node
+    visit_SetComp = _visit_comprehension_node
+    visit_DictComp = _visit_comprehension_node
+    visit_GeneratorExp = _visit_comprehension_node
+
+    def _check_iteration(self, source: ast.expr, site: ast.AST) -> None:
+        if self._is_set_expr(source):
+            described = source.id if isinstance(source, ast.Name) \
+                else "a set expression"
+            self._flag(
+                "DT003", site,
+                f"iteration over bare set {described!r}; ordering is "
+                f"hash-dependent across processes",
+                "iterate sorted(...) or the original ordered source "
+                "(e.g. the topology's trap tuple) instead")
+
+    # --- calls: DT001 / DT002 / DT005 and comprehension exemptions ------ #
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in _ORDER_INSENSITIVE:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                    ast.SetComp)):
+                    self._exempt_comprehensions.add(id(arg))
+        resolved = self._resolved(node.func)
+        if resolved is not None:
+            self._check_random(node, resolved)
+            self._check_clock(node, resolved)
+        self._check_span(node)
+        self.generic_visit(node)
+
+    def _check_random(self, node: ast.Call, resolved: str) -> None:
+        if not resolved.startswith("random."):
+            return
+        tail = resolved[len("random."):]
+        if tail in ("Random", "SystemRandom"):
+            if tail == "Random" and (node.args or node.keywords):
+                return  # seeded constructor -- the sanctioned idiom
+            self._flag(
+                "DT001", node,
+                f"unseeded {resolved}() constructor",
+                "construct random.Random(seed) with an explicit seed")
+            return
+        self._flag(
+            "DT001", node,
+            f"module-level {resolved}() uses the shared unseeded RNG",
+            "thread a random.Random(seed) instance through instead")
+
+    def _check_clock(self, node: ast.Call, resolved: str) -> None:
+        if resolved not in _WALL_CLOCK:
+            return
+        if self.clock_exempt or self._lease_clock_depth > 0:
+            return
+        self._flag(
+            "DT002", node,
+            f"raw wall-clock read {resolved}()",
+            "route the read through LeaseClock (repro.dse.dispatch) so "
+            "tests can inject a fake clock")
+
+    def _check_span(self, node: ast.Call) -> None:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else ""
+        if name != "span" or not node.args:
+            return
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) \
+                or not isinstance(first.value, str):
+            return
+        span_name = first.value
+        category = span_name.split(".", 1)[0]
+        if not _SPAN_NAME.match(span_name) \
+                or category not in _SPAN_CATEGORIES:
+            self._flag(
+                "DT005", node,
+                f"span name {span_name!r} does not follow the "
+                f"docs/observability.md convention",
+                "use dotted lowercase with a known category first, e.g. "
+                "'sim.batch.plan' or 'check.verify'")
+
+
+def _check_schema_version(tree: ast.Module, path: str,
+                          suppressed: Dict[int, Set[str]],
+                          report: Report) -> None:
+    """DT004: public ``*_to_dict``/``*_to_json`` defs stamp schema_version."""
+
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_") or not _PAYLOAD_DEF.match(node.name):
+            continue
+        stamped = any(
+            isinstance(child, ast.Constant) and child.value == "schema_version"
+            for child in ast.walk(node))
+        if stamped:
+            continue
+        line = node.lineno
+        if any("DT004" in suppressed.get(probe, ())
+               for probe in (line, line - 1)):
+            continue
+        report.add(diag(
+            "DT004",
+            f"payload builder {node.name}() does not stamp schema_version",
+            location=f"{path}:{line}",
+            hint="add \"schema_version\": SCHEMA_VERSION to the payload, or "
+                 "suppress with `# repro: allow DT004` if the dict is an "
+                 "embedded fragment of a stamped payload"))

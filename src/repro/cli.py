@@ -11,6 +11,9 @@ designers can explore configurations without writing scripts::
     python -m repro sweep --figure 8 --jobs 4 --store runs/fig8
     python -m repro device --topology G2x3 --capacity 20
     python -m repro check-budget
+    python -m repro check --src src/repro         # determinism linter
+    python -m repro check --suite                 # verify the golden suite
+    python -m repro run --app QFT --check         # verify every compile
 
 Sweeps share one compiled-program cache per invocation, so design points that
 differ only in the two-qubit gate implementation (or that repeat across
@@ -208,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--qubits", type=int, default=None,
                      help="override the application size (total qubits)")
     run.add_argument("--output", default=None, help="write the result as JSON")
+    _add_check_argument(run)
     _add_trace_argument(run)
     _add_config_arguments(run)
 
@@ -224,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "persist there and interrupted sweeps resume without "
                             "recomputation")
     sweep.add_argument("--output", default=None, help="write the series as JSON")
+    _add_check_argument(sweep)
     _add_trace_argument(sweep)
 
     _add_dse_parsers(subparsers)
@@ -241,7 +246,43 @@ def build_parser() -> argparse.ArgumentParser:
                              "compile+simulate unit (default: 0.5, or "
                              "REPRO_BUDGET_S)")
 
+    check = subparsers.add_parser(
+        "check",
+        help="static analysis: program verifier, race detector, "
+             "determinism linter (docs/static-analysis.md)")
+    check.add_argument("--src", nargs="*", default=None, metavar="PATH",
+                       help="lint source files/directories for the "
+                            "determinism rules (DT*); with no PATH, lints "
+                            "the installed repro package")
+    check.add_argument("--program", default=None, metavar="FILE",
+                       help="verify a serialised program JSON (QV*/RC*; "
+                            "device-free -- capacity/connectivity checks "
+                            "need --app or --suite)")
+    check.add_argument("--app", default=None, choices=list(APPLICATION_NAMES),
+                       help="compile one application with the architecture "
+                            "flags and verify the program")
+    check.add_argument("--qubits", type=int, default=None,
+                       help="override the application size for --app")
+    check.add_argument("--suite", action="store_true",
+                       help="compile and verify the reduced 16-qubit suite "
+                            "across GS/IS reordering and L4/G2x2 topologies")
+    check.add_argument("--no-races", action="store_true",
+                       help="skip the schedule race detector (RC*)")
+    check.add_argument("--output", default=None,
+                       help="write the findings as JSON")
+    _add_config_arguments(check)
+
     return parser
+
+
+def _add_check_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--check`` flag (see :mod:`repro.analyze.runtime`)."""
+
+    parser.add_argument(
+        "--check", action="store_true",
+        help="statically verify every compiled program (verifier + race "
+             "detector) and abort on the first error finding; the flag "
+             "propagates to --jobs worker processes")
 
 
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
@@ -335,6 +376,7 @@ def _add_dse_parsers(subparsers) -> None:
     run.add_argument("--top", type=_positive_int, default=5,
                      help="rows to print in the summary table (default: 5)")
     run.add_argument("--output", default=None, help="write the records as JSON")
+    _add_check_argument(run)
     _add_trace_argument(run)
 
     dispatch = dse_sub.add_parser(
@@ -1206,6 +1248,91 @@ def _cmd_check_budget(args) -> int:
     return 0 if outcome["ok"] else 1
 
 
+def _arm_checks(args) -> None:
+    """Turn on ``--check`` runtime verification for this command."""
+
+    if getattr(args, "check", False):
+        from repro.analyze import enable_checks
+
+        enable_checks()
+
+
+def _verify_compiled(circuit, config, *, races: bool):
+    """Compile ``circuit`` under ``config`` and run the program checks."""
+
+    from repro.analyze import detect_races, merge_reports, verify_program
+    from repro.compiler import compile_circuit
+
+    device = config.build_device(circuit.num_qubits)
+    program = compile_circuit(circuit, device)
+    report = verify_program(program, device)
+    if races:
+        report = merge_reports([report, detect_races(program)])
+    return report
+
+
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analyze import (detect_races, lint_paths, merge_reports,
+                               verify_program)
+    from repro.io import SCHEMA_VERSION
+
+    sections = []
+    if args.src is not None:
+        paths = list(args.src) or [str(Path(repro.__file__).parent)]
+        sections.append((f"lint {' '.join(paths)}", lint_paths(paths)))
+    if args.program:
+        from repro.io import load_json, program_from_dict
+
+        program = program_from_dict(load_json(args.program))
+        report = verify_program(program)
+        if not args.no_races:
+            report = merge_reports([report, detect_races(program)])
+        sections.append((f"verify {args.program}", report))
+    if args.app:
+        circuit = build_application(args.app, num_qubits=args.qubits)
+        config = _config_from_args(args)
+        sections.append((
+            f"verify {circuit.name} on {config.name}",
+            _verify_compiled(circuit, config, races=not args.no_races)))
+    if args.suite:
+        suite = scaled_suite(16)
+        for topology in ("L4", "G2x2"):
+            for reorder in ("GS", "IS"):
+                config = ArchitectureConfig(topology=topology,
+                                            trap_capacity=6, gate="FM",
+                                            reorder=reorder)
+                for name, circuit in suite.items():
+                    sections.append((
+                        f"verify {name} on {config.name}",
+                        _verify_compiled(circuit, config,
+                                         races=not args.no_races)))
+    if not sections:
+        raise SystemExit("error: provide --src [PATH ...], --program FILE, "
+                         "--app NAME and/or --suite")
+
+    total = merge_reports(report for _, report in sections)
+    for label, report in sections:
+        status = "ok" if report.ok and not len(report) else report.summary()
+        print(f"{label}: {status}")
+        if len(report):
+            for line in report.format().splitlines()[:-1]:
+                print(f"  {line}")
+    print(f"\ncheck: {total.summary()} across {len(sections)} section(s)")
+    if args.output:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "sections": [{"label": label, **report.to_dict()}
+                         for label, report in sections],
+            "ok": total.ok,
+        }
+        if not _write_json(payload, args.output):
+            return 1
+    return 0 if total.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
 
@@ -1252,6 +1379,20 @@ def _traced_command(args, parser, trace_path) -> int:
 
 
 def _dispatch_command(args, parser) -> int:
+    from repro.analyze import StaticAnalysisError
+
+    try:
+        return _dispatch_command_inner(args, parser)
+    except StaticAnalysisError as exc:
+        print(f"static analysis failed:\n{exc.report.format()}",
+              file=sys.stderr)
+        return 1
+
+
+def _dispatch_command_inner(args, parser) -> int:
+    _arm_checks(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "info":
         return _cmd_info()
     if args.command == "table1":

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.analyze.runtime import checks_enabled, verify_or_raise
 from repro.compiler.builder import ProgramBuilder
 from repro.compiler.mapping import MAPPING_STRATEGIES
 from repro.compiler.placement_state import PlacementState
@@ -190,6 +191,8 @@ def _compile_circuit(circuit: Circuit, device: QCCDDevice,
     )
     if options.validate:
         program.validate()
+    if checks_enabled():
+        verify_or_raise(program, device)
     return program
 
 

@@ -520,7 +520,7 @@ def telemetry_summary(store_dir, *,
             if last is None or t > last:
                 row["last_seen_t"] = float(t)
     if now is None:
-        now = time.time()
+        now = LeaseClock().now()
     for row in workers.values():
         last = row.pop("last_seen_t")
         row["last_seen_age_s"] = (max(0.0, now - last)

@@ -16,6 +16,7 @@ from repro.io.serialization import (
     load_json,
     model_from_dict,
     model_to_dict,
+    program_from_dict,
     program_to_dict,
     records_to_json,
     result_to_dict,
@@ -31,6 +32,7 @@ __all__ = [
     "load_json",
     "model_from_dict",
     "model_to_dict",
+    "program_from_dict",
     "program_to_dict",
     "records_to_json",
     "result_to_dict",

@@ -23,8 +23,18 @@ from enum import Enum
 from pathlib import Path
 from typing import Dict, Iterable, List
 
-from repro.isa.operations import OpKind
-from repro.isa.program import QCCDProgram
+from repro.isa.operations import (
+    GateOp,
+    IonSwapOp,
+    JunctionCrossOp,
+    MeasureOp,
+    MergeOp,
+    MoveOp,
+    OpKind,
+    SplitOp,
+    SwapGateOp,
+)
+from repro.isa.program import InitialPlacement, QCCDProgram
 from repro.models.params import (
     FidelityParams,
     HeatingParams,
@@ -126,6 +136,62 @@ def program_to_dict(program: QCCDProgram) -> Dict:
     }
 
 
+def program_from_dict(payload: Dict) -> QCCDProgram:
+    """Rebuild a :class:`QCCDProgram` from :func:`program_to_dict` output.
+
+    The inverse exists for offline verification (``repro check --program``)
+    and program diffing; recompiling stays the canonical way to obtain a
+    program.  Construction re-runs every ``__post_init__`` check, so a
+    hand-edited payload fails here before the verifier ever sees it.
+    """
+
+    check_schema_version(payload, source="program payload")
+    placement_payload = payload["placement"]
+    placement = InitialPlacement(
+        qubit_to_ion={int(q): ion
+                      for q, ion in placement_payload["qubit_to_ion"].items()},
+        ion_to_trap={int(i): trap
+                     for i, trap in placement_payload["ion_to_trap"].items()},
+        trap_chains={trap: tuple(chain)
+                     for trap, chain in placement_payload["trap_chains"].items()},
+    )
+    operations = []
+    for entry in payload["operations"]:
+        fields = dict(entry)
+        kind = fields.pop("kind")
+        op_type = _OP_TYPES.get(kind)
+        if op_type is None:
+            raise ValueError(f"program payload: unknown operation kind {kind!r}")
+        fields["dependencies"] = tuple(fields.get("dependencies", ()))
+        for name in ("ions", "qubits"):
+            if name in fields:
+                fields[name] = tuple(fields[name])
+        operations.append(op_type(**fields))
+    return QCCDProgram(
+        operations=operations,
+        placement=placement,
+        circuit_name=payload.get("circuit", "circuit"),
+        device_name=payload.get("device", "device"),
+        metadata=dict(payload.get("metadata") or {}),
+    )
+
+
+#: Operation kind tag -> concrete class, for :func:`program_from_dict`.
+#: ``gate_1q``/``gate_2q`` are both :class:`GateOp`; the arity is derived
+#: from the operand tuple, so the two tags share a constructor.
+_OP_TYPES = {
+    OpKind.GATE_1Q.value: GateOp,
+    OpKind.GATE_2Q.value: GateOp,
+    OpKind.SWAP_GATE.value: SwapGateOp,
+    OpKind.MEASURE.value: MeasureOp,
+    OpKind.SPLIT.value: SplitOp,
+    OpKind.MOVE.value: MoveOp,
+    OpKind.JUNCTION.value: JunctionCrossOp,
+    OpKind.MERGE.value: MergeOp,
+    OpKind.ION_SWAP.value: IonSwapOp,
+}
+
+
 # --------------------------------------------------------------------------- #
 # Results
 # --------------------------------------------------------------------------- #
@@ -189,7 +255,9 @@ def _config_to_dict(config: ArchitectureConfig) -> Dict:
     }
 
 
-def model_to_dict(model: PhysicalModel) -> Dict:
+# Embedded fragment: always nested inside a stamped payload (result/store
+# rows), never written standalone.
+def model_to_dict(model: PhysicalModel) -> Dict:  # repro: allow DT004
     """Serialise every physical-model constant (nested, by sub-model)."""
 
     return _jsonify(model)
@@ -206,7 +274,9 @@ def model_from_dict(payload: Dict) -> PhysicalModel:
     )
 
 
-def config_to_dict(config: ArchitectureConfig, *, include_model: bool = False) -> Dict:
+# Embedded fragment: stamped by the store/result payloads that carry it.
+def config_to_dict(config: ArchitectureConfig, *,  # repro: allow DT004
+                   include_model: bool = False) -> Dict:
     """Serialise an architecture config, optionally with its physical model.
 
     The model is included wherever the dictionary must round-trip back to an

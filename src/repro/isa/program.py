@@ -131,21 +131,18 @@ class QCCDProgram:
     def validate(self) -> None:
         """Structural sanity checks used by tests and by the simulator.
 
-        * dependencies reference earlier ops (checked per-op at construction);
-        * every ion referenced by an operation exists in the initial placement.
+        Thin wrapper over :func:`repro.analyze.verifier.quick_validate` --
+        the cheap structural subset of the static verifier (placement
+        consistency, referenced-ion existence, dependency ranges) that every
+        compile pays for.  The full symbolic replay lives behind
+        :func:`repro.analyze.verify_program` / ``repro check``; this method
+        stays the one entry point so there is a single source of truth for
+        program legality.
         """
 
-        placed_ions = set(self.placement.ion_to_trap)
-        for op in self.operations:
-            for attr in ("ion",):
-                if hasattr(op, attr):
-                    ion = getattr(op, attr)
-                    if ion not in placed_ions:
-                        raise ValueError(f"op {op.op_id} references unknown ion {ion}")
-            if hasattr(op, "ions"):
-                for ion in op.ions:
-                    if ion not in placed_ions:
-                        raise ValueError(f"op {op.op_id} references unknown ion {ion}")
+        from repro.analyze.verifier import quick_validate
+
+        quick_validate(self).raise_if_errors(ValueError)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"QCCDProgram({self.circuit_name!r} on {self.device_name!r}, "

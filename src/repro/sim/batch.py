@@ -325,7 +325,7 @@ class BatchPlan:
         # Busy accounting: the serial engine adds durations in op order into
         # per-resource slots; summing each trap's op list in order is the
         # same addition sequence.  Only trap resources are reported.
-        trap_gate_busy = {name: 0.0 for name in set(trap_names)}
+        trap_gate_busy = {name: 0.0 for name in trap_names}
         trap_comm_busy = dict(trap_gate_busy)
         for name, gate_ids, comm_ids in self._busy_for(trap_names):
             total = 0.0

@@ -460,9 +460,14 @@ def _simulate(program: QCCDProgram, device: QCCDDevice, *,
         computation_time = makespan
     communication_time = max(0.0, makespan - computation_time)
 
+    # Dicts build from the topology's ordered trap tuple (never the set:
+    # iteration order must not be hash-dependent); the set serves membership
+    # tests only.
+    trap_gate_busy: Dict[str, float] = {
+        trap.name: 0.0 for trap in device.topology.traps
+    }
+    trap_comm_busy: Dict[str, float] = dict(trap_gate_busy)
     trap_names = {trap.name for trap in device.topology.traps}
-    trap_gate_busy: Dict[str, float] = {name: 0.0 for name in trap_names}
-    trap_comm_busy: Dict[str, float] = {name: 0.0 for name in trap_names}
     for rid, name in enumerate(resource_names):
         if name in trap_names:
             trap_gate_busy[name] = gate_busy[rid]

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import replace
 
+from repro.analyze.runtime import checks_enabled, verify_or_raise
 from repro.compiler.compile import CompilerOptions, compile_circuit
 from repro.hardware.device import QCCDDevice
 from repro.models.gate_times import GateImplementation
@@ -237,6 +238,10 @@ def execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]
 def _execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord]:
     compile_start = perf_counter()
     program, device = cache.get_or_compile(task.circuit, task.config, task.options)
+    if checks_enabled():
+        # Covers the cache-hit path (a fresh compile already verified); the
+        # per-program memo makes repeat hits free.
+        verify_or_raise(program, device)
     compile_s = perf_counter() - compile_start
     program_size = len(program)
     num_shuttles = program.num_shuttles
