@@ -45,6 +45,11 @@ from repro.ir.circuit import Circuit
 #: the perf trajectory is tracked in data, not only in prose).
 BENCH_DATA_DIR = Path(__file__).parent / "data"
 
+#: Version of the artefact layout written by :func:`record_bench` (v2 added
+#: the per-section ``_meta`` provenance block; ``repro bench diff`` accepts
+#: v1 files, whose sections simply lack it).
+BENCH_SCHEMA_VERSION = 2
+
 #: Capacity sweep used at paper scale (Figures 6-8 x axis).
 PAPER_CAPACITIES = (14, 18, 22, 26, 30, 34)
 
@@ -89,9 +94,19 @@ def record_bench(name: str, section: str, payload: Dict[str, object]) -> Path:
     full picture as the suite runs while any single test can refresh its
     numbers in isolation.  Environment metadata rides along so trajectories
     are only compared within one machine/scale.
+
+    Since ``bench_schema`` 2 every section also carries a ``_meta`` block
+    tying the numbers to the run that produced them -- the section's
+    config fingerprint, the process metrics snapshot and the trace schema
+    version -- so ``BENCH_*.json`` and run telemetry share one provenance
+    vocabulary and ``repro bench diff`` can tell "the workload changed"
+    apart from "the same workload got slower".  ``_meta`` is skipped by
+    the diff itself (provenance, not performance).
     """
 
     from repro.io.serialization import SCHEMA_VERSION
+    from repro.obs.export import TRACE_SCHEMA_VERSION, config_fingerprint
+    from repro.obs.metrics import registry
 
     path = BENCH_DATA_DIR / f"BENCH_{name}.json"
     data: Dict[str, object] = {}
@@ -104,11 +119,21 @@ def record_bench(name: str, section: str, payload: Dict[str, object]) -> Path:
             # the refreshed metadata; start the artefact over instead.
             data = {}
     data["schema_version"] = SCHEMA_VERSION
+    data["bench_schema"] = BENCH_SCHEMA_VERSION
     data["machine"] = platform.platform()
     data["python"] = sys.version.split()[0]
     data["scale"] = bench_scale()
+    entry = dict(payload)
+    entry["_meta"] = {
+        "config_fingerprint": config_fingerprint(
+            {"name": name, "section": section, "payload": payload,
+             "machine": data["machine"], "python": data["python"],
+             "scale": data["scale"]}),
+        "metrics": registry().snapshot(),
+        "trace_schema": TRACE_SCHEMA_VERSION,
+    }
     sections = data.setdefault("sections", {})
-    sections[section] = payload
+    sections[section] = entry
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)

@@ -118,5 +118,74 @@ def test_disabled_tracing_overhead(benchmark):
     benchmark(disabled_pass)
 
 
+def test_timeline_fold_and_profile_cost(benchmark, tmp_path):
+    """Time the aggregation engines behind ``dse top`` and ``repro profile``.
+
+    These run *outside* the measured pipeline (in the monitor process, or
+    post-hoc on a trace file), so they carry no overhead budget -- but they
+    are on the interactive path of the live dashboard, and their costs are
+    perf history worth tracking.  The one hard bound pinned here: folding a
+    dashboard-sized event backlog must stay comfortably inside the ``dse
+    top`` refresh interval.
+    """
+
+    import json
+
+    from repro.dse.dispatch import LeaseClock, WorkerTelemetry, read_telemetry
+    from repro.obs import build_profile, enable_tracing
+    from repro.obs.timeline import fold_timeline
+
+    # A synthetic 8-worker fleet history, fake-clock driven.
+    moment = [1000.0]
+    clock = LeaseClock(now_fn=lambda: moment[0])
+    logs = [WorkerTelemetry(tmp_path, f"w{i}", clock=clock) for i in range(8)]
+    rounds = 2_000 if bench_scale() == "paper" else 250
+    for i in range(rounds):
+        for k, log in enumerate(logs):
+            moment[0] += 0.125
+            log.emit("done", work=f"s{i}-{k}", points=3, replayed=0,
+                     wall_s=0.1, counters={"cache.hits": 2, "cache.misses": 1})
+    events = read_telemetry(tmp_path)
+    fold_s = _best_of(lambda: fold_timeline(events, bucket_s=5.0))
+
+    # Span records from a real traced (single-point) compile+sim run.
+    suite = bench_suite()
+    topology, capacities = _sweep_spec()
+    enable_tracing()
+    try:
+        sweep_microarchitecture(suite, capacities=capacities[:1],
+                                gates=SWEEP_GATES[:1], reorders=("GS",),
+                                base=ArchitectureConfig(topology=topology),
+                                cache=ProgramCache())
+    finally:
+        tracer = disable_tracing()
+    spans = [item.to_dict(tracer.origin_s) for item in tracer.spans]
+    profile_s = _best_of(lambda: build_profile(spans))
+    profile = build_profile(spans)
+    frame_bytes = len(json.dumps(profile).encode("utf-8"))
+
+    print()
+    print(f"Timeline/profile aggregation (scale={bench_scale()}):")
+    print(f"  fold_timeline        : {fold_s * 1e3:8.2f} ms "
+          f"({len(events)} events)")
+    print(f"  build_profile        : {profile_s * 1e3:8.2f} ms "
+          f"({len(spans)} spans, {frame_bytes} JSON bytes)")
+    record_bench("obs", "aggregation", {
+        "timeline_events": len(events),
+        "timeline_fold_s": fold_s,
+        "timeline_events_per_s": len(events) / fold_s if fold_s else 0.0,
+        "profile_spans": len(spans),
+        "profile_build_s": profile_s,
+    })
+
+    # A dashboard refresh folds the full backlog; it must fit well inside
+    # the default 1 s `dse top` interval even for a large history.
+    assert fold_s < 0.5, (
+        f"fold_timeline took {fold_s:.3f}s for {len(events)} events; the "
+        f"live dashboard refresh budget is blown")
+
+    benchmark(lambda: fold_timeline(events, bucket_s=5.0))
+
+
 if __name__ == "__main__":
     sys.exit(pytest.main([__file__, "-s", "-q", "--benchmark-disable"]))

@@ -173,6 +173,108 @@ def smoke(workdir: Path, trace: Path = None) -> int:
         return 1
     print(f"[smoke] OK: dispatched export is byte-identical to the serial "
           f"run ({len(golden)} bytes, {space.size} points)")
+
+    code = straggler_smoke(workdir, space, golden)
+    if code != 0:
+        return code
+    return 0
+
+
+def straggler_smoke(workdir: Path, space: DesignSpace, golden: bytes) -> int:
+    """A SIGSTOPped worker must be flagged *before* its lease expires.
+
+    SIGKILL (above) tests the recovery path -- the lease expires and the
+    shard is reclaimed.  A hung-but-alive worker is worse: it renews
+    nothing, produces nothing, and without the timeline monitor nobody
+    notices until the lease budget runs out.  ``detect_stragglers`` flags
+    it at half the TTL; this phase pins that the flag fires while the
+    worker's heartbeat age is still inside the lease budget, then SIGCONTs
+    the worker and checks the run still completes byte-identically.
+    """
+
+    from repro.obs.timeline import FleetMonitor
+
+    store_dir = workdir / "straggler"
+    ttl_s = 4.0
+    dispatcher = Dispatcher(space, store_dir, workers=2, shards=8,
+                            ttl_s=ttl_s, throttle_s=0.05, poll_s=0.1,
+                            respawn=False)
+    dispatcher.prepare()
+    procs = [dispatcher.spawn_worker() for _ in range(2)]
+    victim = procs[0]
+    monitor = FleetMonitor(store_dir, ttl_s=ttl_s)
+    stopped = False
+    try:
+        suffix = f"pid{victim.pid}"
+        victim_owner = None
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and victim_owner is None:
+            for state in dispatcher.ledger.states():
+                if state.owner and state.owner.endswith(suffix):
+                    victim_owner = state.owner
+                    break
+            time.sleep(0.02)
+        if victim_owner is None:
+            print("[smoke] FAIL: straggler victim never claimed a shard")
+            return 1
+        victim.send_signal(signal.SIGSTOP)
+        stopped = True
+        print(f"[smoke] SIGSTOPped worker {victim.pid} "
+              f"(owner {victim_owner}, lease TTL {ttl_s:.0f}s)")
+
+        flagged_age = None
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and flagged_age is None:
+            snapshot = monitor.snapshot()
+            reasons = snapshot["stragglers"].get(victim_owner, [])
+            if any("stalled" in reason for reason in reasons):
+                flagged_age = snapshot["workers"][victim_owner][
+                    "last_seen_age_s"]
+                break
+            time.sleep(0.1)
+        if flagged_age is None:
+            print("[smoke] FAIL: stopped worker was never flagged "
+                  "as a straggler")
+            return 1
+        if flagged_age >= ttl_s:
+            print(f"[smoke] FAIL: straggler flagged only after lease "
+                  f"expiry ({flagged_age:.1f}s >= {ttl_s:.0f}s)")
+            return 1
+        print(f"[smoke] straggler flagged at heartbeat age "
+              f"{flagged_age:.1f}s -- inside the {ttl_s:.0f}s lease budget")
+
+        victim.send_signal(signal.SIGCONT)
+        stopped = False
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline and not dispatcher.ledger.all_done():
+            time.sleep(0.2)
+        if not dispatcher.ledger.all_done():
+            print("[smoke] FAIL: straggler run did not complete")
+            return 1
+        for proc in procs:
+            proc.wait(timeout=60.0)
+    finally:
+        monitor.close()
+        for proc in procs:
+            if proc.poll() is None:
+                if stopped and proc is victim:
+                    proc.send_signal(signal.SIGCONT)
+                proc.kill()
+                proc.wait()
+
+    print("[smoke] fleet dashboard (repro dse top --once):")
+    code = repro_main(["dse", "top", "--store", str(store_dir), "--once"])
+    if code != 0:
+        print(f"[smoke] FAIL: dse top exited with code {code}")
+        return 1
+
+    resumed = export_bytes(store_dir, workdir / "straggler.json")
+    if resumed != golden:
+        print("[smoke] FAIL: straggler run's export differs from the "
+              "serial golden export")
+        return 1
+    print("[smoke] OK: SIGSTOP/SIGCONT run is byte-identical to the "
+          "serial run")
     return 0
 
 

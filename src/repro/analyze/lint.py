@@ -50,7 +50,8 @@ _WALL_CLOCK = frozenset({
 })
 
 _SPAN_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
-_SPAN_CATEGORIES = frozenset({"compile", "sim", "sweep", "dse", "check"})
+_SPAN_CATEGORIES = frozenset({"compile", "sim", "sweep", "dse", "check",
+                              "obs"})
 
 _SUPPRESS = re.compile(r"#\s*repro:\s*allow\s+([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
 

@@ -213,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", default=None, help="write the result as JSON")
     _add_check_argument(run)
     _add_trace_argument(run)
+    _add_profile_argument(run)
     _add_config_arguments(run)
 
     sweep = subparsers.add_parser("sweep", help="regenerate a figure's data series")
@@ -230,8 +231,54 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--output", default=None, help="write the series as JSON")
     _add_check_argument(sweep)
     _add_trace_argument(sweep)
+    _add_profile_argument(sweep)
 
     _add_dse_parsers(subparsers)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="aggregate a recorded span trace into a hierarchical profile",
+        description="Read the flat span JSONL a --trace run wrote (pass "
+                    "either the OUT.spans.jsonl file or the OUT.json trace "
+                    "whose .spans.jsonl sits beside it) and print the "
+                    "aggregate profile: self/total time and call-duration "
+                    "quantiles per span name, the call tree with self time "
+                    "telescoping to the traced wall time, and the critical "
+                    "path.  Deterministic: the same trace file always "
+                    "renders byte-identically.")
+    profile.add_argument("trace", metavar="TRACE",
+                         help="a .spans.jsonl file, or the Chrome-trace "
+                              ".json written by --trace")
+    profile.add_argument("--top", type=_positive_int, default=20,
+                         help="rows in the flat table (default: 20)")
+    profile.add_argument("--collapsed", default=None, metavar="OUT.TXT",
+                         help="additionally write collapsed stacks "
+                              "('a;b;c <self_us>' lines) for flamegraph "
+                              "tooling")
+    profile.add_argument("--output", default=None,
+                         help="write the full profile structure as JSON")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="perf-history utilities over benchmarks/data artefacts")
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    bench_diff = bench_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json artefacts with regression verdicts",
+        description="Pair up the numeric metrics of two benchmark "
+                    "artefacts, classify each key by the naming convention "
+                    "(time/size suffixes are lower-is-better, "
+                    "speedups/hit rates higher-is-better, counts "
+                    "informational), and exit non-zero when a directional "
+                    "metric moved past --threshold in the worse direction "
+                    "-- a machine-checkable CI perf gate.")
+    bench_diff.add_argument("old", metavar="OLD", help="baseline BENCH_*.json")
+    bench_diff.add_argument("new", metavar="NEW", help="candidate BENCH_*.json")
+    bench_diff.add_argument("--threshold", type=_positive_float, default=0.25,
+                            help="fractional worsening that counts as a "
+                                 "regression (default: 0.25 = 25%%)")
+    bench_diff.add_argument("--output", default=None,
+                            help="write the comparison report as JSON")
 
     device = subparsers.add_parser("device", help="describe a candidate device")
     device.add_argument("--qubits", type=int, default=None,
@@ -292,7 +339,19 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
                         help="record a span trace of this command: writes "
                              "Chrome-trace JSON (loadable in Perfetto or "
                              "chrome://tracing) plus a flat .spans.jsonl and "
-                             "a .manifest.json run summary next to it")
+                             "a .manifest.json run summary next to it; the "
+                             "files are flushed atomically even if the "
+                             "command fails")
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--profile`` flag (see :mod:`repro.obs.profile`)."""
+
+    parser.add_argument("--profile", action="store_true",
+                        help="trace this command and print the aggregate "
+                             "span profile (self/total per span name, call "
+                             "tree, critical path) when it finishes; "
+                             "composes with --trace")
 
 
 def _add_space_arguments(parser: argparse.ArgumentParser) -> None:
@@ -378,6 +437,7 @@ def _add_dse_parsers(subparsers) -> None:
     run.add_argument("--output", default=None, help="write the records as JSON")
     _add_check_argument(run)
     _add_trace_argument(run)
+    _add_profile_argument(run)
 
     dispatch = dse_sub.add_parser(
         "dispatch",
@@ -477,6 +537,32 @@ def _add_dse_parsers(subparsers) -> None:
                               "adaptive-mode dispatch.json")
     propose.add_argument("--poll-s", type=_positive_float, default=0.2,
                          help="seconds between result polls (default: 0.2)")
+
+    top = dse_sub.add_parser(
+        "top",
+        help="live fleet dashboard for a dispatched store",
+        description="Auto-refreshing terminal view of a dispatched run: "
+                    "point/shard progress, fleet and per-worker windowed "
+                    "rates with sparklines, cache hit rate, and "
+                    "straggler/stall flags (a worker whose rolling rate "
+                    "falls k MADs below the fleet median, or whose last "
+                    "telemetry event is older than half the lease TTL, is "
+                    "flagged before its lease expires).  Keys: q quits, p "
+                    "pauses/resumes refresh; Ctrl-C also exits cleanly.")
+    top.add_argument("--store", required=True,
+                     help="experiment-store directory of the dispatched run")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (scripting/CI)")
+    top.add_argument("--interval-s", type=_positive_float, default=1.0,
+                     help="seconds between refreshes (default: 1.0)")
+    top.add_argument("--bucket-s", type=_positive_float, default=None,
+                     help="time-series bucket width in seconds (default: 5)")
+    top.add_argument("--window", type=_positive_int, default=None,
+                     help="trailing buckets for rolling rates and "
+                          "sparklines (default: 12)")
+    top.add_argument("--ttl-s", type=_positive_float, default=None,
+                     help="lease TTL for the stall detector (default: the "
+                          "store manifest's ttl_s)")
 
     status = dse_sub.add_parser("status", help="summarise an experiment store")
     status.add_argument("--store", required=True, help="experiment-store directory")
@@ -1214,16 +1300,97 @@ def _open_store(path):
         raise SystemExit(f"error: cannot read experiment store {path}: {exc}")
 
 
+def _cmd_dse_top(args) -> int:
+    from repro.obs.timeline import (DEFAULT_BUCKET_S, DEFAULT_WINDOW_BUCKETS,
+                                    FleetMonitor, render_top)
+
+    monitor = FleetMonitor(
+        args.store,
+        bucket_s=args.bucket_s if args.bucket_s is not None
+        else DEFAULT_BUCKET_S,
+        window=args.window if args.window is not None
+        else DEFAULT_WINDOW_BUCKETS,
+        ttl_s=args.ttl_s)
+    try:
+        if args.once:
+            print(render_top(monitor.snapshot(), window=monitor.window))
+            return 0
+        return _top_loop(monitor, interval_s=args.interval_s)
+    finally:
+        monitor.close()
+
+
+def _top_loop(monitor, *, interval_s: float) -> int:
+    """The live ``dse top`` refresh loop: q quits, p pauses, Ctrl-C exits."""
+
+    from repro.obs.timeline import render_top
+
+    paused = False
+    try:
+        while True:
+            if not paused:
+                frame = render_top(monitor.snapshot(), window=monitor.window)
+                # Clear + home, then the frame; one write per refresh so a
+                # slow terminal never shows a half-drawn dashboard.
+                sys.stdout.write("\x1b[2J\x1b[H" + frame
+                                 + "\n\n[q] quit  [p] pause\n")
+                sys.stdout.flush()
+            key = _read_key(interval_s)
+            if key == "q":
+                return 0
+            if key == "p":
+                paused = not paused
+                if paused:
+                    sys.stdout.write("[paused -- p resumes]\n")
+                    sys.stdout.flush()
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _read_key(timeout_s: float) -> Optional[str]:
+    """Wait up to ``timeout_s`` for one keypress (None on non-tty stdin).
+
+    Raw-mode reads need termios and a real terminal; when either is
+    missing (CI, pipes, Windows), degrade to a plain sleep so the
+    dashboard still refreshes -- only the keybindings go dormant.
+    """
+
+    import select
+    import time as _time
+
+    if not sys.stdin.isatty():
+        _time.sleep(timeout_s)
+        return None
+    try:
+        import termios
+        import tty
+    except ImportError:
+        _time.sleep(timeout_s)
+        return None
+    fd = sys.stdin.fileno()
+    saved = termios.tcgetattr(fd)
+    try:
+        tty.setcbreak(fd)
+        ready, _, _ = select.select([sys.stdin], [], [], timeout_s)
+        if ready:
+            return sys.stdin.read(1).lower()
+        return None
+    finally:
+        termios.tcsetattr(fd, termios.TCSADRAIN, saved)
+
+
 def _cmd_dse(args, parser) -> int:
     if args.dse_command is None:
-        print("usage: repro dse {run,dispatch,propose,worker,status,pareto,"
-              "export} ... (see `repro dse --help`)", file=sys.stderr)
+        print("usage: repro dse {run,dispatch,propose,worker,top,status,"
+              "pareto,export} ... (see `repro dse --help`)", file=sys.stderr)
         return 1
     handlers = {
         "run": _cmd_dse_run,
         "dispatch": _cmd_dse_dispatch,
         "propose": _cmd_dse_propose,
         "worker": _cmd_dse_worker,
+        "top": _cmd_dse_top,
         "status": _cmd_dse_status,
         "pareto": _cmd_dse_pareto,
         "export": _cmd_dse_export,
@@ -1333,6 +1500,61 @@ def _cmd_check(args) -> int:
     return 0 if total.ok else 1
 
 
+def _cmd_profile(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import build_profile, format_profile, parse_spans_jsonl
+
+    path = Path(args.trace)
+    if path.name.endswith(".json") and not path.name.endswith(".spans.jsonl"):
+        # Accept the Chrome-trace path the user passed to --trace; the
+        # span JSONL the profiler wants sits beside it.
+        sibling = path.with_name(path.name[:-len(".json")] + ".spans.jsonl")
+        if sibling.exists():
+            path = sibling
+    try:
+        spans = parse_spans_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read spans from {path}: {exc}", file=sys.stderr)
+        return 1
+    profile = build_profile(spans)
+    print(format_profile(profile, top=args.top))
+    if args.collapsed:
+        try:
+            from repro.obs import atomic_write_text
+
+            atomic_write_text(args.collapsed,
+                              "\n".join(profile["collapsed"]) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.collapsed}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"\nWrote collapsed stacks to {args.collapsed}")
+    if args.output and not _write_json(profile, args.output):
+        return 1
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if getattr(args, "bench_command", None) != "diff":
+        print("usage: repro bench diff OLD NEW (see `repro bench --help`)",
+              file=sys.stderr)
+        return 1
+    from repro.obs import diff_bench_files, format_bench_diff
+
+    try:
+        report = diff_bench_files(args.old, args.new,
+                                  threshold=args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot compare benchmark artefacts: {exc}",
+              file=sys.stderr)
+        return 1
+    print(format_bench_diff(report))
+    if args.output and not _write_json(report, args.output):
+        return 1
+    return 1 if report["regressions"] else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
 
@@ -1341,41 +1563,78 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 1
-    trace_path = getattr(args, "trace", None)
-    if not trace_path:
+    # `repro profile TRACE` names its positional "trace"; only the optional
+    # --trace/--profile flags of the pipeline commands arm the tracer.
+    trace_path = getattr(args, "trace", None) \
+        if args.command != "profile" else None
+    show_profile = getattr(args, "profile", False) is True
+    if not trace_path and not show_profile:
         return _dispatch_command(args, parser)
-    return _traced_command(args, parser, trace_path)
+    return _traced_command(args, parser, trace_path, show_profile)
 
 
-def _traced_command(args, parser, trace_path) -> int:
-    """Run one subcommand under the span tracer and write the trace files.
+def _traced_command(args, parser, trace_path, show_profile=False) -> int:
+    """Run one subcommand under the span tracer and flush the trace views.
 
     The registry is reset first so the manifest's metrics snapshot covers
     exactly this command.  Tracing never changes results: spans observe the
     pipeline, and the store's canonical export is byte-identical with and
     without ``--trace`` (pinned by CI's obs-smoke job).
+
+    The flush runs in a ``finally`` block: a command that *raises* still
+    leaves a complete, readable trace of every span that finished (written
+    atomically, so no reader ever sees a torn file), and ``--profile``
+    still prints its report -- a crashed run is precisely the one whose
+    time breakdown is needed.
     """
 
-    from repro.obs import (disable_tracing, enable_tracing, reset_registry,
-                           write_trace)
+    from repro.obs import disable_tracing, enable_tracing, reset_registry
 
     reset_registry()
     enable_tracing()
+    code: Optional[int] = None
     try:
         code = _dispatch_command(args, parser)
+        return _flush_trace(args, disable_tracing(), trace_path,
+                            show_profile, code)
     finally:
         tracer = disable_tracing()
-    config = {key: value for key, value in sorted(vars(args).items())
-              if key != "trace"}
-    try:
-        paths = write_trace(trace_path, tracer, config=config)
-    except OSError as exc:
-        print(f"error: cannot write trace {trace_path}: {exc}",
-              file=sys.stderr)
-        return 1
-    print(f"Trace: {paths['trace']} ({len(tracer.spans)} spans; "
-          f"spans {paths['spans']}, manifest {paths['manifest']})")
-    return code
+        if code is None and tracer is not None:
+            # An exception is in flight; flush best-effort without
+            # masking it.
+            try:
+                _flush_trace(args, tracer, trace_path, show_profile, None)
+            except Exception:  # pragma: no cover - double-fault path
+                pass
+
+
+def _flush_trace(args, tracer, trace_path, show_profile,
+                 code: Optional[int]) -> int:
+    """Write the trace bundle and/or print the profile; returns exit code."""
+
+    from repro.obs import build_profile, format_profile, write_trace
+
+    if trace_path:
+        config = {key: value for key, value in sorted(vars(args).items())
+                  if key != "trace"}
+        extra = {} if code is None else {"exit_code": code}
+        try:
+            paths = write_trace(trace_path, tracer, config=config,
+                                extra=extra)
+        except OSError as exc:
+            print(f"error: cannot write trace {trace_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        note = " (command failed; partial trace)" if code is None else ""
+        print(f"Trace: {paths['trace']} ({len(tracer.spans)} spans; "
+              f"spans {paths['spans']}, manifest {paths['manifest']})"
+              f"{note}")
+    if show_profile:
+        profile = build_profile([item.to_dict(tracer.origin_s)
+                                 for item in tracer.spans])
+        print()
+        print(format_profile(profile))
+    return code if code is not None else 1
 
 
 def _dispatch_command(args, parser) -> int:
@@ -1405,6 +1664,10 @@ def _dispatch_command_inner(args, parser) -> int:
         return _cmd_sweep(args)
     if args.command == "dse":
         return _cmd_dse(args, parser)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "device":
         return _cmd_device(args)
     if args.command == "check-budget":

@@ -496,6 +496,19 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
     cache = ProgramCache()
     completed: List[str] = []
     lost: List[str] = []
+    seen_counters: Dict[str, int] = {}
+
+    def counters_delta() -> Dict[str, int]:
+        # Same per-done metrics movement the shards-mode worker ships, so
+        # the timeline's cache-rate series works for adaptive fleets too.
+        current = cache.metrics.counters()
+        moved = {name: value - seen_counters.get(name, 0)
+                 for name, value in current.items()
+                 if value != seen_counters.get(name, 0)}
+        seen_counters.clear()
+        seen_counters.update(current)
+        return moved
+
     with ExperimentStore(store_dir,
                          writer=f"adaptive-{_filename_safe(owner)}") as store:
         while True:
@@ -543,7 +556,8 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
             telemetry.emit("done", work=claimed,
                            points=runner.stats.get("evaluated", 0),
                            replayed=runner.stats.get("reused", 0),
-                           wall_s=round(time.perf_counter() - part_started, 6))
+                           wall_s=round(time.perf_counter() - part_started, 6),
+                           counters=counters_delta())
     telemetry.emit("worker_exit", completed=len(completed), lost=len(lost),
                    counters=cache.metrics.counters())
     return {"owner": owner, "completed": completed, "lost": lost}

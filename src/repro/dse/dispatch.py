@@ -72,6 +72,16 @@ MANIFEST_NAME = "dispatch.json"
 #: margin makes another worker redo the shard (harmlessly, but twice).
 DEFAULT_TTL_S = 60.0
 
+#: Telemetry rotation threshold: when a worker's active event log exceeds
+#: this many bytes, it is rotated to a numbered segment (and old segments
+#: are compacted into a summary row), bounding per-worker telemetry at
+#: roughly ``(keep_segments + 1) * max_bytes`` however long the fleet runs.
+DEFAULT_TELEMETRY_MAX_BYTES = 1 << 20
+
+#: Raw (uncompacted) rotated segments kept per worker before the oldest is
+#: folded into the cumulative summary segment.
+DEFAULT_TELEMETRY_KEEP_SEGMENTS = 2
+
 
 class LeaseLost(RuntimeError):
     """A worker's heartbeat found its shard lease reclaimed by another worker.
@@ -418,21 +428,39 @@ class ShardLedger:
 class WorkerTelemetry:
     """One worker's append-only event log inside the store directory.
 
-    Each worker owns exactly one file, ``<store>/telemetry/<owner>.jsonl``,
-    and only ever appends to it -- the same single-writer-per-file
-    discipline the experiment store uses, so no cross-process locking is
-    needed.  Events record the lease lifecycle (claims, heartbeat renewals,
-    losses, completions) and worker start/exit, each stamped by the shared
-    :class:`LeaseClock`; :func:`telemetry_summary` folds the directory
-    union into a per-worker fleet view for ``repro dse status --workers``.
+    Each worker owns exactly one *active* file,
+    ``<store>/telemetry/<owner>.jsonl``, and only ever appends to it -- the
+    same single-writer-per-file discipline the experiment store uses, so no
+    cross-process locking is needed.  Events record the lease lifecycle
+    (claims, heartbeat renewals, losses, completions) and worker
+    start/exit, each stamped by the shared :class:`LeaseClock`;
+    :func:`telemetry_summary` folds the directory union into a per-worker
+    fleet view for ``repro dse status --workers``.
+
+    **Rotation/compaction** keeps long-lived fleets bounded: once the
+    active file exceeds ``max_bytes`` it is renamed to
+    ``<owner>.seg<k>.jsonl`` (atomic; segment numbers only ever grow), and
+    once more than ``keep_segments`` raw segments accumulate, the oldest
+    are folded -- together with any previous summary -- into one
+    cumulative ``event: "summary"`` row in ``<owner>.seg0.jsonl`` and
+    unlinked.  The summary row carries the folded claim/renew/loss/done
+    counters, point/wall totals and ``folded_through`` (the highest raw
+    segment it accounts for), so readers can consume summaries and
+    surviving raw segments together without double counting.  All of this
+    happens inside the single writer, so the discipline holds.
     """
 
     def __init__(self, store_dir, owner: str, *,
-                 clock: Optional[LeaseClock] = None) -> None:
+                 clock: Optional[LeaseClock] = None,
+                 max_bytes: Optional[int] = DEFAULT_TELEMETRY_MAX_BYTES,
+                 keep_segments: int = DEFAULT_TELEMETRY_KEEP_SEGMENTS) -> None:
         self.owner = owner
         self.clock = clock if clock is not None else LeaseClock()
         self.directory = Path(store_dir) / TELEMETRY_DIR
-        self.path = self.directory / f"{_filename_safe(owner)}.jsonl"
+        self.stem = _filename_safe(owner)
+        self.path = self.directory / f"{self.stem}.jsonl"
+        self.max_bytes = max_bytes
+        self.keep_segments = max(1, int(keep_segments))
 
     def emit(self, event: str, **fields) -> None:
         """Append one event record (creates the directory lazily)."""
@@ -442,34 +470,178 @@ class WorkerTelemetry:
         record.update(fields)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+        if self.max_bytes is not None and \
+                self.path.stat().st_size > self.max_bytes:
+            self._rotate()
+
+    # ------------------------------------------------------------------ #
+    def _segment_path(self, k: int) -> Path:
+        return self.directory / f"{self.stem}.seg{k}.jsonl"
+
+    def _raw_segments(self) -> List[int]:
+        """Existing raw segment numbers for this worker, ascending."""
+
+        numbers = []
+        prefix = f"{self.stem}.seg"
+        for path in self.directory.glob(f"{prefix}*.jsonl"):
+            digits = path.name[len(prefix):-len(".jsonl")]
+            if digits.isdigit() and int(digits) > 0:
+                numbers.append(int(digits))
+        return sorted(numbers)
+
+    def _summary_row(self) -> Optional[Dict[str, object]]:
+        """The current cumulative summary row (from ``seg0``), if any."""
+
+        for record in _parse_telemetry_file(self._segment_path(0)):
+            if record.get("event") == "summary":
+                return record
+        return None
+
+    def _rotate(self) -> None:
+        """Rotate the active file out and compact surplus raw segments."""
+
+        summary = self._summary_row()
+        folded_through = int(summary.get("folded_through", 0)) if summary \
+            else 0
+        segments = self._raw_segments()
+        next_k = max(segments + [folded_through]) + 1
+        os.replace(self.path, self._segment_path(next_k))
+        segments.append(next_k)
+        surplus = segments[:-self.keep_segments] \
+            if len(segments) > self.keep_segments else []
+        if surplus:
+            self._compact(summary, surplus)
+
+    def _compact(self, summary: Optional[Dict[str, object]],
+                 segments: Sequence[int]) -> None:
+        """Fold ``segments`` (and the prior summary) into ``seg0``."""
+
+        totals = {
+            "t": 0.0, "owner": self.owner, "event": "summary",
+            "claims": 0, "renews": 0, "lost": 0, "done": 0,
+            "points": 0, "replayed": 0, "wall_s": 0.0,
+            "folded": 0, "folded_through": max(segments),
+            "first_t": None, "alive": None, "last_event": None,
+        }
+        if summary is not None:
+            for key in ("claims", "renews", "lost", "done", "points",
+                        "replayed", "wall_s", "folded"):
+                value = summary.get(key)
+                if isinstance(value, (int, float)):
+                    totals[key] += value
+            totals["first_t"] = summary.get("first_t", summary.get("t"))
+            totals["t"] = float(summary.get("t") or 0.0)
+            totals["alive"] = summary.get("alive")
+            totals["last_event"] = summary.get("last_event")
+        for k in segments:
+            for record in _parse_telemetry_file(self._segment_path(k)):
+                event = record.get("event")
+                totals["folded"] += 1
+                if event == "claim":
+                    totals["claims"] += 1
+                elif event == "renew":
+                    totals["renews"] += 1
+                elif event == "lease_lost":
+                    totals["lost"] += 1
+                elif event == "done":
+                    totals["done"] += 1
+                    totals["points"] += int(record.get("points") or 0)
+                    totals["replayed"] += int(record.get("replayed") or 0)
+                    totals["wall_s"] += float(record.get("wall_s") or 0.0)
+                elif event == "worker_start":
+                    totals["alive"] = True
+                elif event == "worker_exit":
+                    totals["alive"] = False
+                totals["last_event"] = event
+                t = record.get("t")
+                if isinstance(t, (int, float)):
+                    totals["t"] = max(totals["t"], float(t))
+                    if totals["first_t"] is None or t < totals["first_t"]:
+                        totals["first_t"] = float(t)
+        target = self._segment_path(0)
+        scratch = target.with_name(target.name + ".tmp")
+        scratch.write_text(json.dumps(totals, sort_keys=True) + "\n",
+                           encoding="utf-8")
+        os.replace(scratch, target)
+        # Only after the summary durably covers them may the raw segments
+        # go; a crash between these steps leaves both readable, and the
+        # ``folded_through`` guard keeps readers from counting twice.
+        for k in segments:
+            try:
+                self._segment_path(k).unlink()
+            except OSError:
+                pass
+
+
+def _parse_telemetry_file(path: Path) -> List[Dict[str, object]]:
+    """Parse one telemetry JSONL file, skipping torn or garbled lines."""
+
+    records: List[Dict[str, object]] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _telemetry_segment(name: str) -> Optional[Tuple[str, int]]:
+    """``(stem, k)`` when ``name`` is a rotated ``<stem>.seg<k>.jsonl``."""
+
+    if not name.endswith(".jsonl"):
+        return None
+    base = name[:-len(".jsonl")]
+    stem, dot, seg = base.rpartition(".")
+    if dot and seg.startswith("seg") and seg[len("seg"):].isdigit():
+        return stem, int(seg[len("seg"):])
+    return None
 
 
 def read_telemetry(store_dir) -> List[Dict[str, object]]:
     """All telemetry events of a store, ordered by timestamp.
 
     Torn or garbled lines (a live worker's in-flight append) are skipped,
-    mirroring the store's tolerance for its own tail lines.
+    mirroring the store's tolerance for its own tail lines.  Rotated
+    segments are read transparently; compacted history appears as
+    cumulative ``event: "summary"`` rows (sorted at the timestamp of the
+    last event they folded), and raw segments a summary already accounts
+    for (``k <= folded_through``) are skipped so nothing is counted twice.
     """
 
     directory = Path(store_dir) / TELEMETRY_DIR
     events: List[Dict[str, object]] = []
     if not directory.is_dir():
         return events
-    for path in sorted(directory.glob("*.jsonl")):
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
+    paths = sorted(directory.glob("*.jsonl"))
+    # Summary segments first: their folded_through markers gate which raw
+    # segments still carry unfolded history.
+    folded: Dict[str, int] = {}
+    for path in paths:
+        segment = _telemetry_segment(path.name)
+        if segment is None or segment[1] != 0:
             continue
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict):
-                events.append(record)
+        for record in _parse_telemetry_file(path):
+            events.append(record)
+            through = record.get("folded_through")
+            if isinstance(through, int):
+                folded[segment[0]] = max(folded.get(segment[0], 0), through)
+    for path in paths:
+        segment = _telemetry_segment(path.name)
+        if segment is not None:
+            if segment[1] == 0:
+                continue  # summary rows were ingested above
+            if segment[1] <= folded.get(segment[0], 0):
+                continue  # already folded into the stem's summary
+        events.extend(_parse_telemetry_file(path))
     events.sort(key=lambda r: (r.get("t") or 0.0, str(r.get("owner", ""))))
     return events
 
@@ -513,6 +685,19 @@ def telemetry_summary(store_dir, *,
             row["alive"] = True
         elif event == "worker_exit":
             row["alive"] = False
+        elif event == "summary":
+            # Compacted history: fold the cumulative totals in, and let
+            # the (ordered) live events that follow refine alive/last_event.
+            row["claims"] += int(record.get("claims") or 0)
+            row["renewals"] += int(record.get("renews") or 0)
+            row["lost"] += int(record.get("lost") or 0)
+            row["done"] += int(record.get("done") or 0)
+            row["points"] += int(record.get("points") or 0)
+            row["replayed"] += int(record.get("replayed") or 0)
+            row["wall_s"] += float(record.get("wall_s") or 0.0)
+            if record.get("alive") is not None:
+                row["alive"] = bool(record["alive"])
+            event = record.get("last_event") or event
         row["last_event"] = event
         t = record.get("t")
         if isinstance(t, (int, float)):
@@ -663,6 +848,25 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
     cache = ProgramCache()
     completed: List[int] = []
     lost: List[int] = []
+    seen_counters: Dict[str, int] = {}
+
+    def counters_delta() -> Dict[str, int]:
+        """Metrics-counter movement since the previous ``done`` event.
+
+        Shipping the *delta* per completion (rather than the running total
+        only at exit) is what lets the timeline attribute cache hits and
+        misses to the bucket they happened in -- and summing the deltas
+        reproduces the exit totals exactly, because counters are integers.
+        """
+
+        current = cache.metrics.counters()
+        moved = {name: value - seen_counters.get(name, 0)
+                 for name, value in current.items()
+                 if value != seen_counters.get(name, 0)}
+        seen_counters.clear()
+        seen_counters.update(current)
+        return moved
+
     while True:
         shard = ledger.next_claim(owner)
         if shard is None:
@@ -709,7 +913,8 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
         telemetry.emit("done", work=shard.name,
                        points=runner.stats.get("evaluated", 0),
                        replayed=runner.stats.get("reused", 0),
-                       wall_s=round(time.perf_counter() - shard_started, 6))
+                       wall_s=round(time.perf_counter() - shard_started, 6),
+                       counters=counters_delta())
     telemetry.emit("worker_exit", completed=len(completed), lost=len(lost),
                    counters=cache.metrics.counters())
     return {"owner": owner, "completed": completed, "lost": lost}

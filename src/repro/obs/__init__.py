@@ -1,4 +1,4 @@
-"""Observability: span tracing, a metrics registry, and trace export.
+"""Observability: span tracing, metrics, trace export, timeline, profile.
 
 The stack runs distributed, adaptive searches over process pools and a
 lease-coordinated worker fleet; this package is the telemetry layer that
@@ -9,21 +9,37 @@ makes those executions debuggable:
   ``perf_counter`` timings; a zero-overhead no-op while tracing is
   disabled, which is the default.
 * :mod:`~repro.obs.metrics` -- process-wide counters/gauges/histograms
-  with snapshot/delta/merge, generalising the hand-rolled
-  ``ProgramCache.stats()`` / ``BatchPlan.stats()`` counter plumbing so
-  pool workers and dispatched workers aggregate identically for any
-  ``--jobs``.
+  (with bounded-bucket p50/p90/p99 quantiles) and snapshot/delta/merge,
+  generalising the hand-rolled ``ProgramCache.stats()`` /
+  ``BatchPlan.stats()`` counter plumbing so pool workers and dispatched
+  workers aggregate identically for any ``--jobs``.
 * :mod:`~repro.obs.export` -- Chrome trace-event JSON (loads in
   Perfetto), flat span JSONL, and a per-run manifest (config fingerprint,
-  schema versions, phase timings, metrics snapshot).
+  schema versions, phase timings, metrics snapshot), all written through
+  an atomic temp-file-rename writer so crashed runs keep their traces.
+* :mod:`~repro.obs.timeline` -- windowed time-series aggregation over the
+  fleet telemetry logs with straggler/stall detection; the engine behind
+  ``repro dse top``.
+* :mod:`~repro.obs.profile` -- span-derived hierarchical profiling
+  (self/total per span name, quantiles, critical path, collapsed stacks);
+  the engine behind ``repro profile`` and ``--profile``.
+* :mod:`~repro.obs.benchdiff` -- threshold-based comparison of committed
+  ``BENCH_*.json`` perf history; the engine behind ``repro bench diff``.
 
 ``repro run|sweep|dse run|dse dispatch --trace out.json`` enables tracing
 for one command and writes the bundle; span/metric naming conventions and
 the export schemas are documented in ``docs/observability.md``.
 """
 
+from repro.obs.benchdiff import (
+    classify_metric,
+    compare_bench,
+    diff_bench_files,
+    format_bench_diff,
+)
 from repro.obs.export import (
     TRACE_SCHEMA_VERSION,
+    atomic_write_text,
     chrome_trace,
     config_fingerprint,
     run_manifest,
@@ -39,6 +55,19 @@ from repro.obs.metrics import (
     MetricsRegistry,
     registry,
     reset_registry,
+)
+from repro.obs.profile import (
+    build_profile,
+    collapsed_stacks,
+    format_profile,
+    parse_spans_jsonl,
+)
+from repro.obs.timeline import (
+    TelemetryReader,
+    detect_stragglers,
+    fold_timeline,
+    render_top,
+    rolling_rates,
 )
 from repro.obs.trace import (
     Span,
@@ -57,14 +86,28 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TelemetryReader",
     "Tracer",
+    "atomic_write_text",
+    "build_profile",
     "chrome_trace",
+    "classify_metric",
+    "collapsed_stacks",
+    "compare_bench",
     "config_fingerprint",
     "current_tracer",
+    "detect_stragglers",
+    "diff_bench_files",
     "disable_tracing",
     "enable_tracing",
+    "fold_timeline",
+    "format_bench_diff",
+    "format_profile",
+    "parse_spans_jsonl",
     "registry",
+    "render_top",
     "reset_registry",
+    "rolling_rates",
     "run_manifest",
     "span",
     "spans_jsonl",

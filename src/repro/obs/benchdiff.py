@@ -1,0 +1,186 @@
+"""Benchmark-history comparison: ``repro bench diff OLD NEW``.
+
+``benchmarks/data/BENCH_*.json`` artefacts are committed per PR, so perf
+history is data in the repo -- but until now comparing two snapshots was
+eyeball work.  This module makes it a machine verdict: pair up the
+numeric metrics of two artefacts section by section, classify each key
+by its naming convention (the same unit-suffix discipline
+``docs/observability.md`` prescribes for metrics), and flag changes past
+a threshold in the *worse* direction:
+
+* **lower is better** -- keys with time/size unit suffixes (``_s``,
+  ``_ms``, ``_us``, ``_ns``, ``_bytes``) or containing ``overhead`` /
+  ``latency``;
+* **higher is better** -- keys containing ``speedup`` / ``hit_rate`` /
+  ``throughput`` or ending in ``_per_s``;
+* everything else (``points``, ``variants``, counts of work done) is
+  informational -- reported when it changes, never a regression.
+
+The CI ``bench-regression`` job runs this against the committed
+artefacts with a generous threshold (timings cross machines), making the
+perf gate's exit code -- not a human reading a diff -- the check.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "classify_metric",
+    "compare_bench",
+    "diff_bench_files",
+    "format_bench_diff",
+]
+
+#: Key-name fragments marking a lower-is-better metric.
+_LOWER_FRAGMENTS = ("overhead", "latency")
+_LOWER_SUFFIXES = ("_s", "_ms", "_us", "_ns", "_bytes")
+
+#: Key-name fragments marking a higher-is-better metric.
+_HIGHER_FRAGMENTS = ("speedup", "hit_rate", "throughput")
+_HIGHER_SUFFIXES = ("_per_s",)
+
+
+def classify_metric(key: str) -> Optional[str]:
+    """``"lower"``, ``"higher"`` or ``None`` (informational) for one key."""
+
+    name = key.lower()
+    if any(fragment in name for fragment in _HIGHER_FRAGMENTS) or \
+            name.endswith(_HIGHER_SUFFIXES):
+        return "higher"
+    if any(fragment in name for fragment in _LOWER_FRAGMENTS) or \
+            name.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def _numeric_leaves(payload: object, prefix: str = "",
+                    ) -> Dict[str, float]:
+    """Flatten nested dicts to ``dotted.path -> number`` leaves.
+
+    ``_meta`` subtrees (fingerprints, metrics snapshots, environment) are
+    provenance, not performance -- they never participate in the diff.
+    """
+
+    leaves: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            if key == "_meta":
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(_numeric_leaves(payload[key], path))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        leaves[prefix] = float(payload)
+    return leaves
+
+
+def compare_bench(old: Dict[str, object], new: Dict[str, object], *,
+                  threshold: float = 0.25) -> Dict[str, object]:
+    """Compare two BENCH artefact payloads; returns the verdict structure.
+
+    ``threshold`` is the fractional change past which a directional
+    metric counts as a regression (0.25 = 25% worse).  Improvements and
+    informational changes are reported but never fail the diff.  Sections
+    present on only one side are reported as added/removed (removed
+    sections are suspicious -- history vanished -- but not a regression).
+    """
+
+    if not 0.0 <= threshold:
+        raise ValueError("threshold must be non-negative")
+    old_sections = old.get("sections") or {}
+    new_sections = new.get("sections") or {}
+    rows: List[Dict[str, object]] = []
+    regressions = 0
+    for section in sorted(set(old_sections) | set(new_sections)):
+        if section not in new_sections:
+            rows.append({"section": section, "key": None, "kind": "removed"})
+            continue
+        if section not in old_sections:
+            rows.append({"section": section, "key": None, "kind": "added"})
+            continue
+        old_leaves = _numeric_leaves(old_sections[section])
+        new_leaves = _numeric_leaves(new_sections[section])
+        for key in sorted(set(old_leaves) | set(new_leaves)):
+            if key not in old_leaves or key not in new_leaves:
+                rows.append({"section": section, "key": key,
+                             "kind": "added" if key in new_leaves
+                             else "removed"})
+                continue
+            before, after = old_leaves[key], new_leaves[key]
+            if before == after:
+                continue
+            direction = classify_metric(key)
+            change = (after - before) / abs(before) if before else None
+            kind = "info"
+            if direction is not None and change is not None:
+                worse = change > 0 if direction == "lower" else change < 0
+                if worse and abs(change) > threshold:
+                    kind = "regression"
+                    regressions += 1
+                elif worse:
+                    kind = "worse"
+                else:
+                    kind = "improved"
+            rows.append({"section": section, "key": key, "kind": kind,
+                         "direction": direction, "old": before, "new": after,
+                         "change": change})
+    comparable = (old.get("machine") == new.get("machine")
+                  and old.get("scale") == new.get("scale"))
+    return {"threshold": threshold, "comparable": comparable,
+            "regressions": regressions, "rows": rows,
+            "old_meta": {"machine": old.get("machine"),
+                         "scale": old.get("scale")},
+            "new_meta": {"machine": new.get("machine"),
+                         "scale": new.get("scale")}}
+
+
+def diff_bench_files(old_path, new_path, *,
+                     threshold: float = 0.25) -> Dict[str, object]:
+    """:func:`compare_bench` over two artefact files."""
+
+    with open(Path(old_path)) as handle:
+        old = json.load(handle)
+    with open(Path(new_path)) as handle:
+        new = json.load(handle)
+    report = compare_bench(old, new, threshold=threshold)
+    report["old_path"] = str(old_path)
+    report["new_path"] = str(new_path)
+    return report
+
+
+def format_bench_diff(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a :func:`compare_bench` report."""
+
+    lines: List[str] = []
+    header = (f"bench diff: {report.get('old_path', 'old')} -> "
+              f"{report.get('new_path', 'new')} "
+              f"(threshold {100 * report['threshold']:.0f}%)")
+    lines.append(header)
+    if not report["comparable"]:
+        lines.append(
+            f"  note: artefacts span machines/scales "
+            f"({report['old_meta']} vs {report['new_meta']}); timing "
+            f"deltas are indicative only")
+    shown = 0
+    for row in report["rows"]:
+        if row["kind"] in ("added", "removed"):
+            what = row["key"] if row["key"] else "(section)"
+            lines.append(f"  [{row['kind']:<10}] {row['section']}.{what}")
+            shown += 1
+            continue
+        arrow = {"regression": "REGRESSION", "worse": "worse",
+                 "improved": "improved", "info": "info"}[row["kind"]]
+        change = row["change"]
+        delta = f"{100 * change:+.1f}%" if change is not None else "n/a"
+        lines.append(
+            f"  [{arrow:<10}] {row['section']}.{row['key']}: "
+            f"{row['old']:.6g} -> {row['new']:.6g} ({delta})")
+        shown += 1
+    if not shown:
+        lines.append("  no changes")
+    verdict = report["regressions"]
+    lines.append(f"verdict: {verdict} regression(s)"
+                 if verdict else "verdict: OK")
+    return "\n".join(lines)

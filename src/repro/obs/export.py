@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import socket
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -33,6 +34,7 @@ from repro.obs.trace import Tracer
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
+    "atomic_write_text",
     "chrome_trace",
     "config_fingerprint",
     "run_manifest",
@@ -121,6 +123,27 @@ def run_manifest(tracer: Tracer, *,
     return manifest
 
 
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` via a temp file and ``os.replace``.
+
+    A reader (or a crash mid-write) never observes a half-written file:
+    either the old content is still there or the new content is complete.
+    The ``--trace`` flush-on-failure path depends on this -- a command
+    that raises still leaves every trace artefact readable.
+    """
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        scratch.write_text(text)
+        os.replace(scratch, path)
+    finally:
+        if scratch.exists():  # replace failed; don't litter
+            scratch.unlink()
+    return path
+
+
 def write_trace(path, tracer: Tracer, *,
                 metrics: Optional[MetricsRegistry] = None,
                 config: Optional[object] = None,
@@ -128,23 +151,25 @@ def write_trace(path, tracer: Tracer, *,
     """Write the trace bundle for one run; returns the three paths.
 
     ``out.json`` gets the Chrome trace; the span JSONL and the manifest go
-    to ``out.spans.jsonl`` and ``out.manifest.json`` beside it.
+    to ``out.spans.jsonl`` and ``out.manifest.json`` beside it.  Every
+    file lands through :func:`atomic_write_text`, so a crashed run's
+    partial trace is always a *valid* trace of the spans that finished.
     """
 
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     stem = path.name[:-len(".json")] if path.name.endswith(".json") \
         else path.name
     spans_path = path.with_name(f"{stem}.spans.jsonl")
     manifest_path = path.with_name(f"{stem}.manifest.json")
     payload = chrome_trace(tracer)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
-                               default=str) + "\n")
-    spans_path.write_text(spans_jsonl(tracer))
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True,
+                                       default=str) + "\n")
+    atomic_write_text(spans_path, spans_jsonl(tracer))
     manifest = run_manifest(tracer, metrics=metrics, config=config,
                             extra=extra)
-    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True,
-                                        default=str) + "\n")
+    atomic_write_text(manifest_path,
+                      json.dumps(manifest, indent=2, sort_keys=True,
+                                 default=str) + "\n")
     return {"trace": path, "spans": spans_path, "manifest": manifest_path}
 
 

@@ -24,6 +24,7 @@ has an enabled flag.  The process-wide default registry lives behind
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterator, MutableMapping, Optional
 
 __all__ = [
@@ -35,6 +36,21 @@ __all__ = [
     "registry",
     "reset_registry",
 ]
+
+#: Log-spaced quantile buckets per decade.  Bucket ``i`` covers values in
+#: ``[10**(i/8), 10**((i+1)/8))`` -- a x1.33 width, so quantile estimates
+#: carry at most ~15% relative error either side of the bucket midpoint.
+BUCKETS_PER_DECADE = 8
+
+#: Bucket index clamp: values outside [1e-9, 1e9) land in the edge buckets,
+#: bounding the bucket map at ``2 * 9 * BUCKETS_PER_DECADE + 2`` entries no
+#: matter what is observed.
+_BUCKET_MIN = -9 * BUCKETS_PER_DECADE
+_BUCKET_MAX = 9 * BUCKETS_PER_DECADE
+
+#: Non-positive observations (a zero-duration span) get their own bucket
+#: below every log bucket; its representative value is 0.0.
+_BUCKET_ZERO = _BUCKET_MIN - 1
 
 
 class Counter:
@@ -63,10 +79,37 @@ class Gauge:
         self.value = value
 
 
-class Histogram:
-    """A streaming summary of observed values: count / sum / min / max."""
+def bucket_index(value: float) -> int:
+    """The bounded log-spaced bucket an observation falls into."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    if value <= 0.0:
+        return _BUCKET_ZERO
+    index = math.floor(math.log10(value) * BUCKETS_PER_DECADE)
+    return max(_BUCKET_MIN, min(_BUCKET_MAX, index))
+
+
+def bucket_value(index: int) -> float:
+    """The representative (geometric-midpoint) value of one bucket."""
+
+    if index <= _BUCKET_ZERO:
+        return 0.0
+    return 10.0 ** ((index + 0.5) / BUCKETS_PER_DECADE)
+
+
+class Histogram:
+    """A streaming summary of observed values with bounded-bucket quantiles.
+
+    Beyond count / sum / min / max, every observation lands in one of a
+    *bounded* set of log-spaced buckets (:data:`BUCKETS_PER_DECADE` per
+    decade, clamped to [1e-9, 1e9)), so :meth:`quantile` answers p50/p90/p99
+    in O(buckets) with a fixed memory ceiling regardless of how many values
+    stream through.  Bucket counts are integers, so the pool
+    snapshot->delta->merge protocol keeps quantiles **jobs-count-invariant**:
+    merging worker deltas in any split reproduces the serial bucket counts
+    exactly, and quantiles are a pure function of those counts.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -74,6 +117,7 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -82,10 +126,43 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (0..1) from the bucket counts, or ``None`` if empty.
+
+        Deterministic: walk the buckets in index order until the cumulative
+        count reaches ``ceil(q * count)``, then report that bucket's
+        geometric midpoint clamped into [min, max] (so a single observation
+        reports itself exactly).
+        """
+
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        value = self.max
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                value = bucket_value(index)
+                break
+        if self.min is not None:
+            value = max(self.min, min(self.max, value))
+        return value
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The standard reporting triple: p50 / p90 / p99."""
+
+        return {"p50": self.quantile(0.50), "p90": self.quantile(0.90),
+                "p99": self.quantile(0.99)}
 
 
 class MetricsRegistry:
@@ -143,7 +220,9 @@ class MetricsRegistry:
                        for name, series in sorted(self._gauges.items())},
             "histograms": {
                 name: {"count": series.count, "sum": series.total,
-                       "min": series.min, "max": series.max}
+                       "min": series.min, "max": series.max,
+                       "buckets": {str(index): series.buckets[index]
+                                   for index in sorted(series.buckets)}}
                 for name, series in sorted(self._histograms.items())},
         }
 
@@ -167,11 +246,17 @@ class MetricsRegistry:
             prior = before_histograms.get(name, {"count": 0, "sum": 0.0})
             moved = summary["count"] - prior["count"]
             if moved:
+                prior_buckets = prior.get("buckets", {})
                 histograms[name] = {
                     "count": moved,
                     "sum": summary["sum"] - prior["sum"],
                     "min": summary["min"],
                     "max": summary["max"],
+                    "buckets": {
+                        index: delta for index, count
+                        in summary.get("buckets", {}).items()
+                        for delta in (count - prior_buckets.get(index, 0),)
+                        if delta},
                 }
         return {"counters": counters, "gauges": dict(now["gauges"]),
                 "histograms": histograms}
@@ -187,6 +272,9 @@ class MetricsRegistry:
             series = self.histogram(name)
             series.count += summary["count"]
             series.total += summary["sum"]
+            for index, count in summary.get("buckets", {}).items():
+                index = int(index)
+                series.buckets[index] = series.buckets.get(index, 0) + count
             for bound, pick in (("min", min), ("max", max)):
                 value = summary.get(bound)
                 if value is None:

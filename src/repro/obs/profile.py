@@ -1,0 +1,218 @@
+"""Span-derived profiling: hierarchical self/total report, critical path.
+
+The Chrome trace that ``--trace`` writes is a *timeline* -- great in
+Perfetto, useless in a terminal or a diff.  This module turns the flat
+span JSONL (the :meth:`repro.obs.trace.Span.to_dict` schema) into the
+aggregate views a profiler would give (the per-pass instrumentation
+discipline pymtl3 applies to its pipeline):
+
+* a **flat table** per span name -- call count, total time (nested
+  same-name calls counted once), self time, and p50/p90/p99 call
+  durations from the bounded-bucket :class:`~repro.obs.metrics.Histogram`;
+* a **tree** keyed by the root-to-span name path, with self time
+  telescoping exactly: summed over the whole tree it equals the traced
+  wall time (the sum of root span durations), which is the invariant the
+  tests and the acceptance criteria pin;
+* the **critical path** -- from the longest root span, repeatedly descend
+  into the longest child;
+* **collapsed stacks** (``a;b;c <self_us>``) for flamegraph tooling.
+
+Everything is a pure function of the span list with total orderings at
+every step, so the same trace file produces byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram
+from repro.obs.trace import span
+
+__all__ = [
+    "build_profile",
+    "collapsed_stacks",
+    "format_profile",
+    "parse_spans_jsonl",
+]
+
+
+def parse_spans_jsonl(source) -> List[Dict[str, object]]:
+    """Load span records from a ``*.spans.jsonl`` path or its text."""
+
+    text = Path(source).read_text(encoding="utf-8") \
+        if not isinstance(source, str) or "\n" not in source else source
+    records: List[Dict[str, object]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if not isinstance(record, dict) or "name" not in record:
+            raise ValueError("not a span record: " + line[:80])
+        records.append(record)
+    return records
+
+
+def _span_sort_key(record: Dict[str, object]) -> Tuple:
+    return (float(record.get("start_s") or 0.0),
+            int(record.get("span_id") or 0))
+
+
+def build_profile(spans: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate span records into the deterministic profile structure.
+
+    Orphan spans (a ``parent_id`` that never finished -- e.g. a crashed
+    run's partial trace) are treated as roots, so a flushed-on-failure
+    trace still profiles cleanly.
+
+    Returns a dict with ``num_spans``, ``wall_s`` (sum of root
+    durations), ``names`` (the flat table), ``tree`` (per name-path
+    rows), ``critical_path`` and ``collapsed`` stacks.  Self time is
+    *not* clamped at zero in the tables -- a child overlapping past its
+    parent (threads) shows up as negative self, keeping the telescoping
+    sum exact.
+    """
+
+    with span("obs.profile.build", spans=len(spans)):
+        ordered = sorted(spans, key=_span_sort_key)
+        by_id: Dict[int, Dict[str, object]] = {}
+        for record in ordered:
+            span_id = record.get("span_id")
+            if isinstance(span_id, int):
+                by_id[span_id] = record
+        children: Dict[Optional[int], List[Dict[str, object]]] = {}
+        roots: List[Dict[str, object]] = []
+        for record in ordered:
+            parent = record.get("parent_id")
+            if isinstance(parent, int) and parent in by_id:
+                children.setdefault(parent, []).append(record)
+            else:
+                roots.append(record)
+
+        names: Dict[str, Dict[str, object]] = {}
+        histograms: Dict[str, Histogram] = {}
+        tree: Dict[Tuple[str, ...], Dict[str, float]] = {}
+        critical: List[Dict[str, object]] = []
+
+        def visit(record: Dict[str, object], path: Tuple[str, ...],
+                  ancestors: frozenset) -> None:
+            name = str(record["name"])
+            duration = float(record.get("duration_s") or 0.0)
+            kids = children.get(record.get("span_id"), [])
+            self_s = duration - sum(float(kid.get("duration_s") or 0.0)
+                                    for kid in kids)
+            here = path + (name,)
+            node = tree.setdefault(here, {"count": 0, "total_s": 0.0,
+                                          "self_s": 0.0})
+            node["count"] += 1
+            node["total_s"] += duration
+            node["self_s"] += self_s
+            flat = names.setdefault(name, {"count": 0, "total_s": 0.0,
+                                           "self_s": 0.0})
+            flat["count"] += 1
+            flat["self_s"] += self_s
+            if name not in ancestors:
+                # A recursive `sweep.point` inside `sweep.point` must not
+                # count its duration twice in the flat table.
+                flat["total_s"] += duration
+            histograms.setdefault(name, Histogram(name)).observe(duration)
+            nested = ancestors | {name}
+            for kid in kids:
+                visit(kid, here, nested)
+
+        for root in roots:
+            visit(root, (), frozenset())
+
+        wall_s = sum(float(record.get("duration_s") or 0.0)
+                     for record in roots)
+
+        def longest(candidates: Sequence[Dict[str, object]]):
+            return max(candidates,
+                       key=lambda record: (
+                           float(record.get("duration_s") or 0.0),
+                           -int(record.get("span_id") or 0)))
+
+        cursor = longest(roots) if roots else None
+        while cursor is not None:
+            kids = children.get(cursor.get("span_id"), [])
+            self_s = (float(cursor.get("duration_s") or 0.0)
+                      - sum(float(kid.get("duration_s") or 0.0)
+                            for kid in kids))
+            critical.append({"name": str(cursor["name"]),
+                             "span_id": cursor.get("span_id"),
+                             "duration_s": float(cursor.get("duration_s")
+                                                 or 0.0),
+                             "self_s": self_s})
+            cursor = longest(kids) if kids else None
+
+        for name, flat in names.items():
+            flat.update(histograms[name].percentiles())
+
+        return {
+            "num_spans": len(ordered),
+            "wall_s": wall_s,
+            "names": {name: names[name] for name in sorted(names)},
+            "tree": [{"path": ";".join(path), "depth": len(path) - 1,
+                      **tree[path]}
+                     for path in sorted(tree)],
+            "critical_path": critical,
+            "collapsed": collapsed_stacks(tree),
+        }
+
+
+def collapsed_stacks(tree: Dict[Tuple[str, ...], Dict[str, float]],
+                     ) -> List[str]:
+    """The tree as collapsed-stack lines: ``a;b;c <self_microseconds>``.
+
+    The format every flamegraph renderer ingests.  Self time is floored
+    at zero here (renderers reject negative sample counts); the exact
+    telescoping lives in the ``tree`` rows.
+    """
+
+    lines = []
+    for path in sorted(tree):
+        micros = int(round(max(0.0, tree[path]["self_s"]) * 1e6))
+        if micros:
+            lines.append(f"{';'.join(path)} {micros}")
+    return lines
+
+
+def format_profile(profile: Dict[str, object], *, top: int = 20) -> str:
+    """Render a profile as the terminal report ``repro profile`` prints."""
+
+    lines: List[str] = []
+    wall = profile["wall_s"]
+    lines.append(f"{profile['num_spans']} spans, {wall:.6f}s traced wall time")
+    lines.append("")
+    lines.append(f"{'name':<40} {'calls':>7} {'total_s':>10} {'self_s':>10} "
+                 f"{'p50':>9} {'p90':>9} {'p99':>9}")
+    ranked = sorted(profile["names"].items(),
+                    key=lambda item: (-item[1]["self_s"], item[0]))
+    for name, row in ranked[:top]:
+        lines.append(
+            f"{name:<40} {row['count']:>7} {row['total_s']:>10.6f} "
+            f"{row['self_s']:>10.6f} {_fmt(row['p50']):>9} "
+            f"{_fmt(row['p90']):>9} {_fmt(row['p99']):>9}")
+    if len(ranked) > top:
+        lines.append(f"... ({len(ranked) - top} more names)")
+    lines.append("")
+    lines.append("call tree (self_s telescopes to traced wall time):")
+    for node in profile["tree"]:
+        name = node["path"].rsplit(";", 1)[-1]
+        share = 100.0 * node["total_s"] / wall if wall else 0.0
+        lines.append(f"  {'  ' * node['depth']}{name:<{40 - 2 * node['depth']}}"
+                     f" {node['count']:>7} {node['total_s']:>10.6f}"
+                     f" {node['self_s']:>10.6f} {share:>5.1f}%")
+    lines.append("")
+    lines.append("critical path:")
+    for step, node in enumerate(profile["critical_path"]):
+        lines.append(f"  {'  ' * step}{node['name']} "
+                     f"{node['duration_s']:.6f}s "
+                     f"(self {node['self_s']:.6f}s)")
+    return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:.4g}" if value is not None else "-"

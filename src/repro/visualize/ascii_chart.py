@@ -11,6 +11,11 @@ from typing import Dict, List, Sequence
 
 _MARKERS = "ox+*#@%&"
 
+#: Sparkline intensity ramp, lowest to highest.  Pure ASCII on purpose:
+#: ``repro dse top`` frames are byte-compared in tests and may land in CI
+#: logs, where unicode block elements render unpredictably.
+_SPARK_LEVELS = " .:-=+*#@"
+
 
 def _scale(value: float, low: float, high: float, width: int) -> int:
     if high <= low:
@@ -55,6 +60,26 @@ def ascii_line_chart(x_values: Sequence[float],
                        for index, label in enumerate(labels))
     lines.append(" " * 12 + legend)
     return "\n".join(lines)
+
+
+def ascii_sparkline(values: Sequence[float]) -> str:
+    """Render a sequence as a one-character-per-value intensity sparkline.
+
+    Scaled against the max of the sequence (zero maps to a blank), so a
+    constant nonzero series renders at full intensity -- the shape of the
+    series matters here, not its absolute level.
+    """
+
+    if not values:
+        return ""
+    largest = max(values)
+    if largest <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[0] if value <= 0 else
+        _SPARK_LEVELS[max(1, min(top, int(round(value / largest * top))))]
+        for value in values)
 
 
 def ascii_bar_chart(values: Dict[str, float], width: int = 50,
