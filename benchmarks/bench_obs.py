@@ -187,5 +187,92 @@ def test_timeline_fold_and_profile_cost(benchmark, tmp_path):
     benchmark(lambda: fold_timeline(events, bucket_s=5.0))
 
 
+def test_worker_tracing_and_merge_cost(benchmark, tmp_path):
+    """Time distributed tracing: traced pool workers and the shard merger.
+
+    Two perf-history sections for the fleet-tracing layer.
+    ``worker_tracing`` compares a ``jobs=2`` sweep untraced vs traced --
+    the traced run adds per-task span shipping through the pool result
+    tuple, allowed to cost but tracked so a regression (say, shipping
+    spans per *span* instead of per task) shows up in ``bench diff``.
+    ``shard_merge`` times :func:`read_trace_shards` + the deterministic
+    merge over a synthetic many-worker shard directory -- the post-run
+    step of every traced dispatch, and the interactive cost of
+    ``repro trace merge``.
+    """
+
+    import json
+
+    from repro.obs import write_merged_trace
+    from repro.obs.distributed import SHARD_SCHEMA_VERSION, TRACE_DIR
+    from repro.toolflow import SweepTask
+    from repro.toolflow.parallel import run_tasks
+
+    suite = bench_suite()
+    topology, capacities = _sweep_spec()
+    base = ArchitectureConfig(topology=topology)
+    circuit = next(iter(suite.values()))
+    tasks = [SweepTask(circuit, base.with_updates(trap_capacity=cap),
+                       gates=SWEEP_GATES)
+             for cap in capacities]
+
+    untraced_s = _best_of(lambda: run_tasks(tasks, jobs=2), repeats=2)
+
+    def traced_run():
+        enable_tracing()
+        try:
+            run_tasks(tasks, jobs=2)
+        finally:
+            tracer = disable_tracing()
+        return tracer
+
+    traced_s = _best_of(lambda: traced_run(), repeats=2)
+    shipped = len(traced_run().foreign)
+
+    # A synthetic fleet shard directory: 8 workers x `spans_per` records.
+    spans_per = 2_000 if bench_scale() == "paper" else 250
+    for worker in range(8):
+        lines = []
+        for i in range(spans_per):
+            lines.append(json.dumps({
+                "name": "sweep.task", "span_id": i + 1,
+                "parent_id": None, "parent_ref": "1:1",
+                "pid": 100 + worker, "tid": 1,
+                "epoch_start_s": 1000.0 + i * 0.01, "duration_s": 0.01,
+                "attrs": {"point": i}, "trace_id": "bench",
+                "schema_version": SHARD_SCHEMA_VERSION,
+                "owner": f"w{worker}",
+            }, sort_keys=True))
+        directory = tmp_path / "store" / TRACE_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"w{worker}.jsonl").write_text("\n".join(lines) + "\n")
+    merged = tmp_path / "merged.json"
+    merge_s = _best_of(
+        lambda: write_merged_trace(tmp_path / "store", merged), repeats=2)
+    shard_spans = 8 * spans_per
+
+    print()
+    print(f"Distributed tracing (scale={bench_scale()}):")
+    print(f"  jobs=2 sweep         : {untraced_s * 1e3:8.1f} ms untraced, "
+          f"{traced_s * 1e3:8.1f} ms traced ({shipped} spans shipped)")
+    print(f"  shard merge          : {merge_s * 1e3:8.2f} ms "
+          f"({shard_spans} spans across 8 shards)")
+    record_bench("obs", "worker_tracing", {
+        "tasks": len(tasks),
+        "untraced_sweep_s": untraced_s,
+        "traced_sweep_s": traced_s,
+        "spans_shipped": shipped,
+    })
+    record_bench("obs", "shard_merge", {
+        "shards": 8,
+        "shard_spans": shard_spans,
+        "merge_s": merge_s,
+        "merge_spans_per_s": shard_spans / merge_s if merge_s else 0.0,
+    })
+
+    assert shipped > 0, "the traced pool sweep shipped no spans home"
+    benchmark(lambda: write_merged_trace(tmp_path / "store", merged))
+
+
 if __name__ == "__main__":
     sys.exit(pytest.main([__file__, "-s", "-q", "--benchmark-disable"]))

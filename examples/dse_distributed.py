@@ -149,19 +149,9 @@ def smoke(workdir: Path, trace: Path = None) -> int:
             return 1
 
     if trace is not None:
-        import json
-
-        from repro.obs import disable_tracing, validate_chrome_trace, write_trace
-
-        tracer = disable_tracing()
-        paths = write_trace(trace, tracer)
-        events = validate_chrome_trace(json.loads(
-            Path(paths["trace"]).read_text()))
-        if events == 0:
-            print("[smoke] FAIL: the trace recorded no spans")
-            return 1
-        print(f"[smoke] trace: {paths['trace']} validates as Chrome trace "
-              f"JSON ({events} events)")
+        code = _check_fleet_trace(workdir, store_dir, trace)
+        if code != 0:
+            return code
 
     print("[smoke] worker telemetry:")
     repro_main(["dse", "status", "--store", str(store_dir), "--workers"])
@@ -177,6 +167,84 @@ def smoke(workdir: Path, trace: Path = None) -> int:
     code = straggler_smoke(workdir, space, golden)
     if code != 0:
         return code
+    return 0
+
+
+def _check_fleet_trace(workdir: Path, store_dir: Path, trace: Path) -> int:
+    """Validate the distributed-tracing guarantees on the smoke's fleet.
+
+    The workers joined this process's trace through the environment
+    (``spawn_worker`` stamped the context) and flushed span shards into
+    the store -- the SIGKILLed one included, up to its last atomic flush.
+    Checks: the merged trace carries spans from at least two worker pids
+    under one root trace id, validates as Chrome trace JSON with process
+    metadata, profiles into a fleet-wide critical path, and the standalone
+    ``repro trace merge`` is deterministic (byte-identical across runs).
+    """
+
+    import json
+
+    from repro.obs import (
+        adopt_shards,
+        build_profile,
+        current_tracer,
+        disable_tracing,
+        validate_chrome_trace,
+        write_trace,
+    )
+
+    tracer = current_tracer()
+    info = adopt_shards(tracer, store_dir)
+    disable_tracing()
+    worker_pids = {record["pid"] for record in tracer.foreign}
+    if len(worker_pids) < 2:
+        print(f"[smoke] FAIL: expected trace shards from >= 2 worker "
+              f"pids, got {sorted(worker_pids)}")
+        return 1
+    trace_ids = {record["trace_id"] for record in tracer.foreign}
+    if trace_ids != {tracer.trace_id}:
+        print(f"[smoke] FAIL: worker spans carry foreign trace ids "
+              f"{sorted(trace_ids)} != {tracer.trace_id}")
+        return 1
+    paths = write_trace(trace, tracer)
+    payload = json.loads(Path(paths["trace"]).read_text())
+    events = validate_chrome_trace(payload)
+    if events == 0:
+        print("[smoke] FAIL: the trace recorded no spans")
+        return 1
+    if not any(e["ph"] == "M" for e in payload["traceEvents"]):
+        print("[smoke] FAIL: fleet trace lacks process metadata events")
+        return 1
+    skipped = sum(info["skipped"].values())
+    print(f"[smoke] trace: {paths['trace']} validates as Chrome trace "
+          f"JSON ({events} events; {info['spans']} worker spans from "
+          f"{len(worker_pids)} pids, {skipped} shard lines skipped)")
+
+    profile = build_profile(tracer.records())
+    critical = profile["critical_path"]
+    if not critical:
+        print("[smoke] FAIL: fleet profile has no critical path")
+        return 1
+    steps = " -> ".join(step["name"] for step in critical)
+    print(f"[smoke] fleet critical path: {steps}")
+
+    # The standalone merger must be deterministic: merging the same shard
+    # set twice writes byte-identical bundles.
+    merges = []
+    for k in (1, 2):
+        out = workdir / f"merged{k}.json"
+        code = repro_main(["trace", "merge", "--store", str(store_dir),
+                           "--output", str(out)])
+        if code != 0:
+            print(f"[smoke] FAIL: repro trace merge exited with {code}")
+            return 1
+        merges.append(out.read_bytes()
+                      + out.with_suffix(".spans.jsonl").read_bytes())
+    if merges[0] != merges[1]:
+        print("[smoke] FAIL: repeated trace merges are not byte-identical")
+        return 1
+    print("[smoke] OK: repro trace merge is deterministic "
+          "(byte-identical across runs)")
     return 0
 
 
@@ -286,9 +354,11 @@ def main() -> int:
                              "exits non-zero if the reclaimed run's export "
                              "differs from the serial golden export")
     parser.add_argument("--trace", type=Path, default=None, metavar="OUT.JSON",
-                        help="with --smoke: record the dispatcher process's "
-                             "span trace and validate it as Chrome trace "
-                             "JSON")
+                        help="with --smoke: trace the whole fleet (workers "
+                             "join via the environment and flush span "
+                             "shards), merge the shards, and validate the "
+                             "fleet Chrome trace, critical path and "
+                             "deterministic `repro trace merge`")
     args = parser.parse_args()
     workdir = Path(tempfile.mkdtemp(prefix="dse_distributed_"))
     try:

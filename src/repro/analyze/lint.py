@@ -17,7 +17,7 @@ guarantee has historically been (or could be) broken:
   (``*_to_dict`` / ``*_to_json``) must stamp ``schema_version``.
 * ``DT005`` (warning) -- ``span()`` names must follow the
   ``docs/observability.md`` convention: dotted lowercase with a known
-  category (``compile|sim|sweep|dse|check``) first.
+  category (``compile|sim|sweep|dse|check|obs|trace``) first.
 
 Suppression: a ``# repro: allow DT003`` comment (comma-separated ids) on
 the offending line or the line above disables those checks there.  Every
@@ -51,7 +51,7 @@ _WALL_CLOCK = frozenset({
 
 _SPAN_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
 _SPAN_CATEGORIES = frozenset({"compile", "sim", "sweep", "dse", "check",
-                              "obs"})
+                              "obs", "trace"})
 
 _SUPPRESS = re.compile(r"#\s*repro:\s*allow\s+([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
 

@@ -258,6 +258,25 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--output", default=None,
                          help="write the full profile structure as JSON")
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="distributed-trace utilities over store trace shards")
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    trace_merge = trace_sub.add_parser(
+        "merge",
+        help="merge a store's per-worker trace shards into one trace bundle",
+        description="Read every <store>/traces/*.jsonl span shard traced "
+                    "workers flushed, skip torn or corrupt lines with a "
+                    "warning, and write one Perfetto-loadable Chrome trace "
+                    "(plus .spans.jsonl and .manifest.json) at OUTPUT.  "
+                    "Deterministic: the same span set merges "
+                    "byte-identically regardless of how it was sharded.")
+    trace_merge.add_argument("--store", required=True,
+                             help="experiment-store directory holding "
+                                  "traces/ shards")
+    trace_merge.add_argument("--output", required=True, metavar="OUT.JSON",
+                             help="path of the merged Chrome trace")
+
     bench = subparsers.add_parser(
         "bench",
         help="perf-history utilities over benchmarks/data artefacts")
@@ -1076,10 +1095,24 @@ def _cmd_dse_dispatch(args) -> int:
     print(f"\nDispatch {status}: {summary['points']} points in "
           f"{summary['elapsed_s']:.1f} s "
           f"(respawned {summary['respawned']} worker(s))")
+    _print_trace_merge(summary)
     if summary["complete"]:
         print(f"Export with `python -m repro dse export --store "
               f"{dispatcher.store_dir} --output study.json`")
     return 0 if summary["complete"] else 1
+
+
+def _print_trace_merge(summary) -> None:
+    """Report the automatic shard merge of a traced dispatch, if any."""
+
+    info = summary.get("trace")
+    if not info:
+        return
+    skipped = sum(info["skipped"].values())
+    skip_note = f", {skipped} shard line(s) skipped" if skipped else ""
+    print(f"Trace merge : {info['spans']} worker spans adopted from "
+          f"{info['shards']} shard(s) across {len(info['pids'])} "
+          f"process(es){skip_note}")
 
 
 def _dse_dispatch_adaptive(args, space) -> int:
@@ -1158,6 +1191,7 @@ def _dse_dispatch_adaptive(args, space) -> int:
           f"evaluations over {summary.get('batches', 0)} batches in "
           f"{summary['elapsed_s']:.1f} s "
           f"(respawned {summary['respawned']} worker(s))")
+    _print_trace_merge(summary)
     best = summary.get("best")
     if best is not None:
         config = best["point"]["config"]
@@ -1535,6 +1569,29 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    if getattr(args, "trace_command", None) != "merge":
+        print("usage: repro trace merge --store STORE --output OUT.JSON "
+              "(see `repro trace --help`)", file=sys.stderr)
+        return 1
+    from repro.obs import write_merged_trace
+
+    config = {key: value for key, value in sorted(vars(args).items())}
+    try:
+        paths, info = write_merged_trace(args.store, args.output,
+                                         config=config)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot merge trace shards: {exc}", file=sys.stderr)
+        return 1
+    skipped = sum(info["skipped"].values())
+    skip_note = f", {skipped} line(s) skipped" if skipped else ""
+    print(f"Merged {info['shards']} shard(s): {info['spans']} spans from "
+          f"{len(info['pids'])} process(es){skip_note}")
+    print(f"Trace: {paths['trace']} (spans {paths['spans']}, "
+          f"manifest {paths['manifest']})")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     if getattr(args, "bench_command", None) != "diff":
         print("usage: repro bench diff OLD NEW (see `repro bench --help`)",
@@ -1563,10 +1620,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 1
-    # `repro profile TRACE` names its positional "trace"; only the optional
-    # --trace/--profile flags of the pipeline commands arm the tracer.
+    # `repro profile TRACE` names its positional "trace" and `repro trace
+    # merge` is the offline merger; only the optional --trace/--profile
+    # flags of the pipeline commands arm the tracer.
     trace_path = getattr(args, "trace", None) \
-        if args.command != "profile" else None
+        if args.command not in ("profile", "trace") else None
     show_profile = getattr(args, "profile", False) is True
     if not trace_path and not show_profile:
         return _dispatch_command(args, parser)
@@ -1626,12 +1684,14 @@ def _flush_trace(args, tracer, trace_path, show_profile,
                   file=sys.stderr)
             return 1
         note = " (command failed; partial trace)" if code is None else ""
-        print(f"Trace: {paths['trace']} ({len(tracer.spans)} spans; "
+        count = len(tracer.spans) + len(tracer.foreign)
+        print(f"Trace: {paths['trace']} ({count} spans; "
               f"spans {paths['spans']}, manifest {paths['manifest']})"
               f"{note}")
     if show_profile:
-        profile = build_profile([item.to_dict(tracer.origin_s)
-                                 for item in tracer.spans])
+        # records() includes adopted foreign spans, so a dispatch run's
+        # profile covers the whole fleet (cross-process critical path).
+        profile = build_profile(tracer.records())
         print()
         print(format_profile(profile))
     return code if code is not None else 1
@@ -1666,6 +1726,8 @@ def _dispatch_command_inner(args, parser) -> int:
         return _cmd_dse(args, parser)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "device":

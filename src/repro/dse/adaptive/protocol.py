@@ -52,6 +52,7 @@ from repro.dse.dispatch import (
     LeaseLost,
     WorkerTelemetry,
     _filename_safe,
+    _live_phase,
     default_owner,
     read_manifest,
     spawn_worker_process,
@@ -61,6 +62,8 @@ from repro.dse.pareto import objective_value
 from repro.dse.runner import DSERunner
 from repro.dse.space import DesignSpace, point_from_spec
 from repro.dse.store import ExperimentStore, row_to_record
+from repro.obs.distributed import TraceContext, TraceShardWriter, adopt_shards
+from repro.obs.trace import current_tracer
 from repro.obs.trace import span as _span
 
 #: Subdirectory of the store directory holding the proposal ledger.
@@ -491,6 +494,13 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
         idle_wait_s = max(0.05, min(1.0, ledger.ttl_s / 4))
 
     telemetry = WorkerTelemetry(store_dir, owner, clock=ledger.clock)
+    # Join the dispatcher's trace when one was stamped into our environment
+    # (the same propagation the shards-mode worker does).
+    trace_ctx = TraceContext.from_env()
+    shard_writer = None
+    if trace_ctx is not None:
+        trace_ctx.arm()
+        shard_writer = TraceShardWriter(store_dir, owner)
     telemetry.emit("worker_start", mode="adaptive", jobs=jobs,
                    pid=os.getpid())
     cache = ProgramCache()
@@ -518,7 +528,7 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
                     break
                 time.sleep(idle_wait_s)
                 continue
-            telemetry.emit("claim", work=claimed)
+            telemetry.emit("claim", work=claimed, **_live_phase())
             part_started = time.perf_counter()
 
             payload = ledger.read_work(claimed)
@@ -528,7 +538,7 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
                 if not ledger.renew(name, owner):
                     raise LeaseLost(f"lease on proposal part {name} was "
                                     f"reclaimed from {owner}")
-                telemetry.emit("renew", work=name)
+                telemetry.emit("renew", work=name, **_live_phase())
                 if throttle_s:
                     time.sleep(throttle_s)
 
@@ -546,10 +556,14 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
                 # driver's stamp so raw rows match serial runs exactly.
                 runner.provenance["objectives"] = payload["objectives"]
             try:
-                runner.evaluate(points)
+                with _span("dse.part", part=claimed, owner=owner,
+                           points=len(points)):
+                    runner.evaluate(points)
             except LeaseLost:
                 lost.append(claimed)
                 telemetry.emit("lease_lost", work=claimed)
+                if shard_writer is not None:
+                    shard_writer.flush(current_tracer())
                 continue
             ledger.release(claimed, owner, done=True)
             completed.append(claimed)
@@ -558,8 +572,15 @@ def run_adaptive_worker(store_dir, *, manifest: Optional[Dict] = None,
                            replayed=runner.stats.get("reused", 0),
                            wall_s=round(time.perf_counter() - part_started, 6),
                            counters=counters_delta())
+            if shard_writer is not None:
+                # Per-part flush: the shard file is always a complete
+                # atomic snapshot, so a SIGKILL costs only the spans since
+                # the last finished part.
+                shard_writer.flush(current_tracer())
     telemetry.emit("worker_exit", completed=len(completed), lost=len(lost),
                    counters=cache.metrics.counters())
+    if shard_writer is not None:
+        shard_writer.flush(current_tracer())
     return {"owner": owner, "completed": completed, "lost": lost}
 
 
@@ -657,6 +678,21 @@ class AdaptiveDispatcher:
         respawn budget (workers still running are then terminated).
         """
 
+        # The dispatch span is the cross-process parent traced workers
+        # hang their root spans under (spawn_worker_process stamps the
+        # open span into their environment); their shards merge in after
+        # the span closes.
+        with _span("dse.dispatch", mode="adaptive",
+                   workers=self.workers) as trace:
+            summary = self._run(timeout_s=timeout_s)
+            trace.set(complete=summary["complete"],
+                      respawned=summary["respawned"])
+        tracer = current_tracer()
+        if tracer is not None:
+            summary["trace"] = adopt_shards(tracer, self.store_dir)
+        return summary
+
+    def _run(self, *, timeout_s: Optional[float]) -> Dict[str, object]:
         import subprocess
 
         self.prepare()

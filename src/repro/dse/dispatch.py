@@ -52,7 +52,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.dse.runner import DSERunner, Shard
 from repro.dse.space import DesignSpace
 from repro.dse.store import ExperimentStore
-from repro.obs.trace import span
+from repro.obs.distributed import (
+    TraceContext,
+    TraceShardWriter,
+    adopt_shards,
+)
+from repro.obs.trace import (
+    current_span_name,
+    current_span_ref,
+    current_tracer,
+    span,
+)
 
 #: Subdirectory of the store directory holding lease and done files.
 LEASE_DIR = "leases"
@@ -105,6 +115,19 @@ class LeaseState:
     status: str
     owner: Optional[str] = None
     age_s: Optional[float] = None
+
+
+def _live_phase() -> Dict[str, str]:
+    """``{"phase": <open span name>}`` for a telemetry event, or ``{}``.
+
+    Workers stamp their innermost open span onto heartbeat-style telemetry
+    events; ``dse top`` shows it as the worker's live phase.  Empty when
+    tracing is disabled or no span is open, so untraced runs emit exactly
+    the pre-tracing telemetry schema.
+    """
+
+    name = current_span_name()
+    return {"phase": name} if name else {}
 
 
 def default_owner() -> str:
@@ -656,7 +679,9 @@ def telemetry_summary(store_dir, *,
     worker's most recent event (``last_seen_age_s``) -- the fleet-level
     analogue of a lease heartbeat age.  ``alive`` tracks worker_start /
     worker_exit markers; a worker that died without its exit marker shows
-    ``alive`` with a growing ``last_seen_age_s``.
+    ``alive`` with a growing ``last_seen_age_s``.  ``phase`` is the
+    worker's live open span (stamped on heartbeat events by traced
+    workers; ``None`` for untraced runs or between work units).
     """
 
     workers: Dict[str, Dict[str, object]] = {}
@@ -668,6 +693,7 @@ def telemetry_summary(store_dir, *,
             "claims": 0, "renewals": 0, "lost": 0, "done": 0,
             "points": 0, "replayed": 0, "wall_s": 0.0,
             "alive": False, "last_event": None, "last_seen_t": None,
+            "phase": None,
         })
         event = record.get("event")
         if event == "claim":
@@ -699,6 +725,11 @@ def telemetry_summary(store_dir, *,
                 row["alive"] = bool(record["alive"])
             event = record.get("last_event") or event
         row["last_event"] = event
+        if "phase" in record:
+            phase = record["phase"]
+            row["phase"] = phase if isinstance(phase, str) else None
+        elif event in ("done", "lease_lost", "worker_exit"):
+            row["phase"] = None  # the work unit's span closed with it
         t = record.get("t")
         if isinstance(t, (int, float)):
             last = row["last_seen_t"]
@@ -843,6 +874,14 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
         idle_wait_s = max(0.05, min(1.0, ledger.ttl_s / 4))
 
     telemetry = WorkerTelemetry(store_dir, owner, clock=ledger.clock)
+    # Join the dispatcher's trace when it stamped one into our environment:
+    # spans recorded here flush crash-safely to this worker's shard file,
+    # which the dispatcher merges into one fleet trace after the run.
+    trace_ctx = TraceContext.from_env()
+    shard_writer = None
+    if trace_ctx is not None:
+        trace_ctx.arm()
+        shard_writer = TraceShardWriter(store_dir, owner)
     telemetry.emit("worker_start", mode="shards", shards=ledger.count,
                    jobs=jobs, pid=os.getpid())
     cache = ProgramCache()
@@ -876,14 +915,14 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
             # belong to a dead worker, so wait for expiry instead of exiting.
             time.sleep(idle_wait_s)
             continue
-        telemetry.emit("claim", work=shard.name)
+        telemetry.emit("claim", work=shard.name, **_live_phase())
         shard_started = time.perf_counter()
 
         def heartbeat(index: int = shard.index, name: str = shard.name) -> None:
             if not ledger.renew(index, owner):
                 raise LeaseLost(f"lease on shard {index}/{ledger.count} was "
                                 f"reclaimed from {owner}")
-            telemetry.emit("renew", work=name)
+            telemetry.emit("renew", work=name, **_live_phase())
             if throttle_s:
                 time.sleep(throttle_s)
 
@@ -907,6 +946,8 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
             except LeaseLost:
                 lost.append(shard.index)
                 telemetry.emit("lease_lost", work=shard.name)
+                if shard_writer is not None:
+                    shard_writer.flush(current_tracer())
                 continue
         ledger.release(shard.index, owner, done=True)
         completed.append(shard.index)
@@ -915,8 +956,15 @@ def run_worker(store_dir, *, owner: Optional[str] = None,
                        replayed=runner.stats.get("reused", 0),
                        wall_s=round(time.perf_counter() - shard_started, 6),
                        counters=counters_delta())
+        if shard_writer is not None:
+            # Flush after every completed shard: a SIGKILL later costs only
+            # the spans since this point, and the shard file is always a
+            # complete atomic snapshot (never a torn append).
+            shard_writer.flush(current_tracer())
     telemetry.emit("worker_exit", completed=len(completed), lost=len(lost),
                    counters=cache.metrics.counters())
+    if shard_writer is not None:
+        shard_writer.flush(current_tracer())
     return {"owner": owner, "completed": completed, "lost": lost}
 
 
@@ -937,7 +985,10 @@ def spawn_worker_process(store_dir) -> subprocess.Popen:
 
     The worker reads everything else from the dispatch manifest, so the same
     spawn works for shard-mode and adaptive-mode runs.  ``repro`` is made
-    importable through the subprocess environment.
+    importable through the subprocess environment.  When this process has
+    tracing enabled, the trace context (root id + the currently-open span
+    as the worker's cross-process parent) rides along in the same
+    environment, so worker spans join the dispatcher's trace.
     """
 
     env = os.environ.copy()
@@ -945,6 +996,10 @@ def spawn_worker_process(store_dir) -> subprocess.Popen:
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = (package_root if not existing
                          else package_root + os.pathsep + existing)
+    tracer = current_tracer()
+    if tracer is not None:
+        TraceContext.from_tracer(tracer,
+                                 parent_ref=current_span_ref()).stamp(env)
     return subprocess.Popen(worker_argv(store_dir), env=env)
 
 
@@ -1138,7 +1193,13 @@ class Dispatcher:
                                 progress_interval_s=progress_interval_s)
             trace.set(complete=summary["complete"], points=summary["points"],
                       respawned=summary["respawned"])
-            return summary
+        tracer = current_tracer()
+        if tracer is not None:
+            # The workers joined this trace (spawn_worker_process stamped
+            # the context) and flushed their spans to shard files; fold
+            # them in so the ordinary --trace flush writes one fleet trace.
+            summary["trace"] = adopt_shards(tracer, self.store_dir)
+        return summary
 
     def _run(self, *, timeout_s: Optional[float],
              on_progress: Optional[Callable[[Dict[str, object]], None]],

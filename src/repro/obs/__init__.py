@@ -17,6 +17,11 @@ makes those executions debuggable:
   Perfetto), flat span JSONL, and a per-run manifest (config fingerprint,
   schema versions, phase timings, metrics snapshot), all written through
   an atomic temp-file-rename writer so crashed runs keep their traces.
+* :mod:`~repro.obs.distributed` -- fleet-wide tracing: trace-context
+  propagation into worker subprocesses and pool children, per-worker
+  crash-safe trace shards under ``<store>/traces/``, and the
+  deterministic shard merger behind ``repro trace merge`` and the
+  automatic merge of ``dse dispatch --trace``.
 * :mod:`~repro.obs.timeline` -- windowed time-series aggregation over the
   fleet telemetry logs with straggler/stall detection; the engine behind
   ``repro dse top``.
@@ -36,6 +41,15 @@ from repro.obs.benchdiff import (
     compare_bench,
     diff_bench_files,
     format_bench_diff,
+)
+from repro.obs.distributed import (
+    SHARD_SCHEMA_VERSION,
+    TRACE_DIR,
+    TraceContext,
+    TraceShardWriter,
+    adopt_shards,
+    read_trace_shards,
+    write_merged_trace,
 )
 from repro.obs.export import (
     TRACE_SCHEMA_VERSION,
@@ -72,6 +86,8 @@ from repro.obs.timeline import (
 from repro.obs.trace import (
     Span,
     Tracer,
+    current_span_name,
+    current_span_ref,
     current_tracer,
     disable_tracing,
     enable_tracing,
@@ -79,6 +95,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "SHARD_SCHEMA_VERSION",
+    "TRACE_DIR",
     "TRACE_SCHEMA_VERSION",
     "Counter",
     "CounterDict",
@@ -87,7 +105,10 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "TelemetryReader",
+    "TraceContext",
+    "TraceShardWriter",
     "Tracer",
+    "adopt_shards",
     "atomic_write_text",
     "build_profile",
     "chrome_trace",
@@ -95,6 +116,8 @@ __all__ = [
     "collapsed_stacks",
     "compare_bench",
     "config_fingerprint",
+    "current_span_name",
+    "current_span_ref",
     "current_tracer",
     "detect_stragglers",
     "diff_bench_files",
@@ -104,6 +127,7 @@ __all__ = [
     "format_bench_diff",
     "format_profile",
     "parse_spans_jsonl",
+    "read_trace_shards",
     "registry",
     "render_top",
     "reset_registry",
@@ -112,5 +136,6 @@ __all__ = [
     "span",
     "spans_jsonl",
     "validate_chrome_trace",
+    "write_merged_trace",
     "write_trace",
 ]

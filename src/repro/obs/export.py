@@ -4,7 +4,11 @@ Three views of one :class:`~repro.obs.trace.Tracer`:
 
 * :func:`chrome_trace` -- the Chrome trace-event format (``traceEvents``
   with complete ``"ph": "X"`` events, microsecond ``ts``/``dur``), which
-  loads directly in Perfetto / ``chrome://tracing``.
+  loads directly in Perfetto / ``chrome://tracing``.  A tracer that
+  adopted foreign records (a fleet run) additionally gets ``"ph": "M"``
+  ``process_name``/``thread_name`` metadata events and a *total content
+  ordering* of its events, so the same span set exports byte-identically
+  regardless of how it was sharded across processes.
 * :func:`spans_jsonl` -- one flat JSON object per span (the
   ``Span.to_dict`` schema), for grep/jq-style analysis.
 * :func:`run_manifest` -- what produced the trace: config fingerprint,
@@ -45,10 +49,17 @@ __all__ = [
 
 #: Version of the span/manifest schemas (independent of the store's
 #: row ``SCHEMA_VERSION``; bump when the exported shapes change).
-TRACE_SCHEMA_VERSION = 1
+#: v2: spans may carry ``parent_ref``/``owner``/``trace_id`` (distributed
+#: traces), the manifest carries ``trace_id``, and fleet Chrome traces
+#: carry ``process_name``/``thread_name`` metadata events.
+TRACE_SCHEMA_VERSION = 2
 
 #: Keys every Chrome trace event emitted here must carry.
 _EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+#: Metadata event names the merger emits (the only ``ph: "M"`` kinds the
+#: validator accepts).
+_METADATA_NAMES = ("process_name", "thread_name")
 
 
 def config_fingerprint(payload: object) -> str:
@@ -59,30 +70,89 @@ def config_fingerprint(payload: object) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, object]:
-    """The tracer's spans in Chrome trace-event JSON (Perfetto-loadable)."""
+def _span_event(record: Dict[str, object]) -> Dict[str, object]:
+    """One span record as a complete (``ph: "X"``) Chrome trace event."""
 
+    args = dict(record.get("attrs") or {})
+    args["span_id"] = record["span_id"]
+    if record.get("parent_id") is not None:
+        args["parent_id"] = record["parent_id"]
+    if record.get("parent_ref"):
+        args["parent_ref"] = record["parent_ref"]
+    if record.get("owner"):
+        args["owner"] = record["owner"]
+    name = str(record["name"])
+    return {
+        "name": name,
+        "cat": name.split(".", 1)[0],
+        "ph": "X",
+        "ts": round(float(record.get("start_s") or 0.0) * 1e6, 3),
+        "dur": round(float(record.get("duration_s") or 0.0) * 1e6, 3),
+        "pid": record["pid"],
+        "tid": record["tid"],
+        "args": args,
+    }
+
+
+def _fleet_metadata_events(records) -> List[Dict[str, object]]:
+    """Stable ``process_name``/``thread_name`` metadata for a fleet trace.
+
+    One ``process_name`` per pid (the worker's ``owner`` when its records
+    carry one, else ``pid-<pid>``) and one ``thread_name`` per
+    ``(pid, tid)``, both in sorted order -- a pure function of the record
+    set, so merged traces stay byte-identical however they were sharded.
+    """
+
+    labels: Dict[int, str] = {}
+    threads = set()
+    for record in records:
+        pid = record["pid"]
+        owner = record.get("owner")
+        if pid not in labels and isinstance(owner, str) and owner:
+            labels[pid] = owner
+        threads.add((pid, record["tid"]))
     events: List[Dict[str, object]] = []
-    for item in tracer.spans:
-        args = dict(item.attrs)
-        args["span_id"] = item.span_id
-        if item.parent_id is not None:
-            args["parent_id"] = item.parent_id
-        events.append({
-            "name": item.name,
-            "cat": item.name.split(".", 1)[0],
-            "ph": "X",
-            "ts": round((item.start_s - tracer.origin_s) * 1e6, 3),
-            "dur": round(item.duration_s * 1e6, 3),
-            "pid": item.pid,
-            "tid": item.tid,
-            "args": args,
-        })
+    for pid in sorted({pid for pid, _ in threads}):
+        events.append({"name": "process_name", "ph": "M", "ts": 0.0,
+                       "pid": pid, "tid": 0,
+                       "args": {"name": labels.get(pid, f"pid-{pid}")}})
+    for pid, tid in sorted(threads):
+        events.append({"name": "thread_name", "ph": "M", "ts": 0.0,
+                       "pid": pid, "tid": tid,
+                       "args": {"name": f"tid-{tid}"}})
+    return events
+
+
+def _event_sort_key(event: Dict[str, object]):
+    return (event["ts"], event["pid"], event["tid"],
+            event["args"].get("span_id", 0),
+            json.dumps(event, sort_keys=True, default=str))
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, object]:
+    """The tracer's spans in Chrome trace-event JSON (Perfetto-loadable).
+
+    A single-process tracer exports its spans in completion order, exactly
+    as before distributed tracing.  A tracer holding foreign records (or
+    records spanning several pids) exports the *fleet* form: metadata
+    events first, then every span event in a total content ordering
+    (start time, pid, tid, span id, canonical JSON) -- the
+    ``fold_timeline`` discipline, so a given span set merges to the same
+    bytes regardless of the shard split it arrived through.
+    """
+
+    records = tracer.records()
+    fleet = bool(tracer.foreign) or len({rec["pid"] for rec in records}) > 1
+    events = [_span_event(record) for record in records]
+    if fleet:
+        events.sort(key=_event_sort_key)
+        events = _fleet_metadata_events(records) + events
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
             "trace_schema": TRACE_SCHEMA_VERSION,
+            "trace_id": tracer.trace_id,
             "epoch_s": tracer.epoch_s,
             "hostname": socket.gethostname(),
         },
@@ -92,9 +162,8 @@ def chrome_trace(tracer: Tracer) -> Dict[str, object]:
 def spans_jsonl(tracer: Tracer) -> str:
     """Flat span JSONL text (one ``Span.to_dict`` object per line)."""
 
-    lines = [json.dumps(item.to_dict(tracer.origin_s), sort_keys=True,
-                        default=str)
-             for item in tracer.spans]
+    lines = [json.dumps(record, sort_keys=True, default=str)
+             for record in tracer.records()]
     return "".join(line + "\n" for line in lines)
 
 
@@ -114,7 +183,8 @@ def run_manifest(tracer: Tracer, *,
         "created_epoch_s": tracer.epoch_s,
         "hostname": socket.gethostname(),
         "pid": tracer.pid,
-        "num_spans": len(tracer.spans),
+        "trace_id": tracer.trace_id,
+        "num_spans": len(tracer.spans) + len(tracer.foreign),
         "phase_timings": tracer.phase_timings(),
         "metrics": metrics.snapshot(),
     }
@@ -178,7 +248,11 @@ def validate_chrome_trace(payload: Dict[str, object]) -> int:
 
     Raises ``ValueError`` naming the first violation.  Used by the span
     round-trip tests and the CI ``obs-smoke`` job to guarantee the emitted
-    trace actually loads in Perfetto-compatible viewers.
+    trace actually loads in Perfetto-compatible viewers.  Accepts the two
+    event kinds the exporter emits: complete spans (``ph: "X"``, which
+    need a non-negative ``dur``) and the merger's
+    ``process_name``/``thread_name`` metadata (``ph: "M"``, which need a
+    non-empty ``args.name`` label).
     """
 
     if not isinstance(payload, dict):
@@ -200,6 +274,17 @@ def validate_chrome_trace(payload: Dict[str, object]) -> int:
                 raise ValueError(
                     f"traceEvents[{position}] ('{event['name']}') has a "
                     f"missing or negative 'dur'")
+        elif event["ph"] == "M":
+            if event["name"] not in _METADATA_NAMES:
+                raise ValueError(
+                    f"traceEvents[{position}] has unknown metadata kind "
+                    f"'{event['name']}'")
+            args = event.get("args")
+            label = args.get("name") if isinstance(args, dict) else None
+            if not isinstance(label, str) or not label:
+                raise ValueError(
+                    f"traceEvents[{position}] ('{event['name']}') lacks a "
+                    f"non-empty args.name label")
         if not isinstance(event["ts"], (int, float)):
             raise ValueError(
                 f"traceEvents[{position}] ('{event['name']}') has a "

@@ -19,6 +19,12 @@ discipline pymtl3 applies to its pipeline):
 
 Everything is a pure function of the span list with total orderings at
 every step, so the same trace file produces byte-identical reports.
+
+Records may span the whole fleet: spans are identified by the
+``(pid, span_id)`` pair (per-tracer ids collide across processes), and a
+worker root's cross-process ``parent_ref`` hangs its tree under the
+dispatching span -- so the call tree, the per-pid self-time telescoping
+and the critical path cover a merged distributed trace end to end.
 """
 
 from __future__ import annotations
@@ -57,7 +63,40 @@ def parse_spans_jsonl(source) -> List[Dict[str, object]]:
 
 def _span_sort_key(record: Dict[str, object]) -> Tuple:
     return (float(record.get("start_s") or 0.0),
+            int(record.get("pid") or 0),
             int(record.get("span_id") or 0))
+
+
+def _span_key(record: Dict[str, object]) -> Tuple[int, int]:
+    """The fleet-unique identity of a span record.
+
+    Span ids are small per-tracer integers, so traces merged across
+    processes collide on ``span_id`` alone; the ``(pid, span_id)`` pair
+    is unique fleet-wide.
+    """
+
+    return (int(record.get("pid") or 0), int(record.get("span_id") or 0))
+
+
+def _parent_key(record: Dict[str, object]) -> Optional[Tuple[int, int]]:
+    """The parent's ``(pid, span_id)`` key, in- or cross-process.
+
+    ``parent_id`` links within the record's own process; a worker root's
+    ``parent_ref`` (``"pid:span_id"``) links across processes to the span
+    that dispatched it.
+    """
+
+    parent = record.get("parent_id")
+    if isinstance(parent, int):
+        return (int(record.get("pid") or 0), parent)
+    ref = record.get("parent_ref")
+    if isinstance(ref, str) and ":" in ref:
+        pid_text, _, span_text = ref.partition(":")
+        try:
+            return (int(pid_text), int(span_text))
+        except ValueError:
+            return None
+    return None
 
 
 def build_profile(spans: Sequence[Dict[str, object]]) -> Dict[str, object]:
@@ -77,16 +116,15 @@ def build_profile(spans: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
     with span("obs.profile.build", spans=len(spans)):
         ordered = sorted(spans, key=_span_sort_key)
-        by_id: Dict[int, Dict[str, object]] = {}
+        by_id: Dict[Tuple[int, int], Dict[str, object]] = {}
         for record in ordered:
-            span_id = record.get("span_id")
-            if isinstance(span_id, int):
-                by_id[span_id] = record
-        children: Dict[Optional[int], List[Dict[str, object]]] = {}
+            if isinstance(record.get("span_id"), int):
+                by_id[_span_key(record)] = record
+        children: Dict[Tuple[int, int], List[Dict[str, object]]] = {}
         roots: List[Dict[str, object]] = []
         for record in ordered:
-            parent = record.get("parent_id")
-            if isinstance(parent, int) and parent in by_id:
+            parent = _parent_key(record)
+            if parent is not None and parent in by_id:
                 children.setdefault(parent, []).append(record)
             else:
                 roots.append(record)
@@ -100,7 +138,7 @@ def build_profile(spans: Sequence[Dict[str, object]]) -> Dict[str, object]:
                   ancestors: frozenset) -> None:
             name = str(record["name"])
             duration = float(record.get("duration_s") or 0.0)
-            kids = children.get(record.get("span_id"), [])
+            kids = children.get(_span_key(record), [])
             self_s = duration - sum(float(kid.get("duration_s") or 0.0)
                                     for kid in kids)
             here = path + (name,)
@@ -132,16 +170,18 @@ def build_profile(spans: Sequence[Dict[str, object]]) -> Dict[str, object]:
             return max(candidates,
                        key=lambda record: (
                            float(record.get("duration_s") or 0.0),
+                           -int(record.get("pid") or 0),
                            -int(record.get("span_id") or 0)))
 
         cursor = longest(roots) if roots else None
         while cursor is not None:
-            kids = children.get(cursor.get("span_id"), [])
+            kids = children.get(_span_key(cursor), [])
             self_s = (float(cursor.get("duration_s") or 0.0)
                       - sum(float(kid.get("duration_s") or 0.0)
                             for kid in kids))
             critical.append({"name": str(cursor["name"]),
                              "span_id": cursor.get("span_id"),
+                             "pid": cursor.get("pid"),
                              "duration_s": float(cursor.get("duration_s")
                                                  or 0.0),
                              "self_s": self_s})

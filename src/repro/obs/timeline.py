@@ -651,6 +651,8 @@ def render_top(snapshot: Dict[str, object], *,
         series = timeline["workers"].get(owner)
         spark = (ascii_sparkline([b["points"] for b in series[-take:]])
                  if series and take else "")
+        phase = row.get("phase")
+        phase_note = f"  in {phase}" if isinstance(phase, str) and phase else ""
         flag_note = ""
         if owner in stragglers:
             flag_note = "  ** STRAGGLER: " + "; ".join(stragglers[owner])
@@ -659,7 +661,7 @@ def render_top(snapshot: Dict[str, object], *,
             f"  {rates.get(owner, 0.0):7.3f} pts/s"
             f"  {row.get('done', 0)} done/{row.get('lost', 0)} lost"
             f"/{row.get('claims', 0)} claims"
-            f"  [{spark}]{flag_note}")
+            f"{phase_note}  [{spark}]{flag_note}")
     if not workers:
         lines.append("  (no telemetry yet -- is this store dispatched?)")
     compacted = timeline.get("compacted") or {}

@@ -12,13 +12,16 @@ The ``bench_obs`` smoke pins that cost below 1% of the 96-point
 
 Parenting uses a :class:`contextvars.ContextVar`, so nesting follows the
 call stack (including across threads, each of which sees its own chain).
-Process-pool workers inherit the enabled flag on fork but their spans stay
-in the worker process; cross-process telemetry instead flows through
-:mod:`repro.obs.metrics` deltas and the dispatcher's worker telemetry
-files (:mod:`repro.dse.dispatch`).
+Tracing also crosses process boundaries: every tracer carries a root
+``trace_id`` plus an optional ``parent_ref`` (``"pid:span_id"`` naming a
+span in another process), and :mod:`repro.obs.distributed` propagates
+both into dispatched worker subprocesses and process-pool children, whose
+spans flow back as *foreign records* via :meth:`Tracer.adopt` -- so a
+fleet run yields one trace under one root id.
 
 Span ids are small per-tracer integers (allocation order), so traces of a
 deterministic run are structurally reproducible; only the timings vary.
+Cross-process spans are identified by the ``(pid, span_id)`` pair.
 """
 
 from __future__ import annotations
@@ -32,6 +35,8 @@ from typing import Dict, List, Optional
 __all__ = [
     "Span",
     "Tracer",
+    "current_span_name",
+    "current_span_ref",
     "current_tracer",
     "disable_tracing",
     "enable_tracing",
@@ -100,12 +105,14 @@ class Span:
     def __enter__(self) -> "Span":
         self.parent_id = _PARENT.get()
         self._token = _PARENT.set(self.span_id)
+        self._tracer.open_spans[self.span_id] = self
         self.start_s = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.end_s = time.perf_counter()
         _PARENT.reset(self._token)
+        self._tracer.open_spans.pop(self.span_id, None)
         if exc_type is not None:
             self.attrs["error"] = f"{exc_type.__name__}: {exc}"
         self._tracer.spans.append(self)
@@ -136,13 +143,26 @@ class Tracer:
     ``epoch_s`` (wall clock) and ``origin_s`` (``perf_counter``) are read
     together at construction, anchoring the monotonic span times to real
     time for the export manifest.
+
+    ``trace_id`` names the root trace this tracer contributes to: minted
+    here for a root (dispatcher/CLI) tracer, inherited via
+    :mod:`repro.obs.distributed` context propagation in worker processes,
+    whose tracers also carry a ``parent_ref`` (``"pid:span_id"``) naming
+    the cross-process span their root spans hang under.  ``foreign`` holds
+    adopted span *records* (dicts in the ``Span.to_dict`` schema, times
+    already in this tracer's frame) shipped back from other processes.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, trace_id: Optional[str] = None,
+                 parent_ref: Optional[str] = None) -> None:
         self.epoch_s = time.time()
         self.origin_s = time.perf_counter()
         self.pid = os.getpid()
+        self.trace_id = trace_id or f"{self.pid:x}-{int(self.epoch_s * 1e6):x}"
+        self.parent_ref = parent_ref
         self.spans: List[Span] = []
+        self.foreign: List[Dict[str, object]] = []
+        self.open_spans: Dict[int, Span] = {}
         self._next_id = 0
         self._lock = threading.Lock()
 
@@ -152,15 +172,37 @@ class Tracer:
             span_id = self._next_id
         return Span(self, name, span_id, attrs)
 
+    def adopt(self, records) -> None:
+        """Append foreign span records (already in this tracer's frame)."""
+
+        self.foreign.extend(records)
+
+    def records(self) -> List[Dict[str, object]]:
+        """All span records -- own spans first, then adopted foreign ones.
+
+        Own spans use the plain :meth:`Span.to_dict` schema (plus a
+        ``parent_ref`` on roots when this tracer was armed under one), so
+        a single-process trace exports exactly as before fleet support.
+        """
+
+        records = []
+        for item in self.spans:
+            record = item.to_dict(self.origin_s)
+            if self.parent_ref and record["parent_id"] is None:
+                record["parent_ref"] = self.parent_ref
+            records.append(record)
+        records.extend(self.foreign)
+        return records
+
     def phase_timings(self) -> Dict[str, Dict[str, float]]:
         """Total duration and call count per span name (manifest summary)."""
 
         timings: Dict[str, Dict[str, float]] = {}
-        for item in self.spans:
-            entry = timings.setdefault(item.name, {"count": 0,
-                                                   "total_s": 0.0})
+        for record in self.records():
+            name = str(record["name"])
+            entry = timings.setdefault(name, {"count": 0, "total_s": 0.0})
             entry["count"] += 1
-            entry["total_s"] += item.duration_s
+            entry["total_s"] += float(record.get("duration_s") or 0.0)
         return timings
 
 
@@ -173,11 +215,23 @@ def span(name: str, **attrs):
     return tracer.span(name, **attrs)
 
 
-def enable_tracing() -> Tracer:
-    """Install (and return) a fresh process-wide tracer."""
+def enable_tracing(*, trace_id: Optional[str] = None,
+                   parent_ref: Optional[str] = None) -> Tracer:
+    """Install (and return) a fresh process-wide tracer.
+
+    ``trace_id``/``parent_ref`` join this process to an existing fleet
+    trace (see :mod:`repro.obs.distributed`); omitted, a new root trace
+    id is minted.
+
+    The parent chain restarts with the tracer: a forked pool child
+    inherits the parent process's ``_PARENT`` ContextVar, and without the
+    reset its spans would carry a ``parent_id`` naming a span of a
+    *different* process's tracer.
+    """
 
     global _TRACER
-    _TRACER = Tracer()
+    _TRACER = Tracer(trace_id=trace_id, parent_ref=parent_ref)
+    _PARENT.set(None)
     return _TRACER
 
 
@@ -193,3 +247,37 @@ def current_tracer() -> Optional[Tracer]:
     """The installed tracer, or ``None`` when tracing is disabled."""
 
     return _TRACER
+
+
+def current_span_ref() -> Optional[str]:
+    """The open span of this context as a cross-process ``pid:span_id`` ref.
+
+    ``None`` when tracing is disabled or no span is open.  This is what a
+    dispatcher stamps into worker environments so worker root spans parent
+    under the dispatching span in the merged fleet trace.
+    """
+
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    parent = _PARENT.get()
+    if parent is None:
+        return None
+    return f"{tracer.pid}:{parent}"
+
+
+def current_span_name() -> Optional[str]:
+    """Name of the innermost *open* span, or ``None``.
+
+    Workers stamp this onto their telemetry events as the live ``phase``
+    the ``dse top`` dashboard shows per worker.
+    """
+
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    parent = _PARENT.get()
+    if parent is None:
+        return None
+    open_span = tracer.open_spans.get(parent)
+    return open_span.name if open_span is not None else None

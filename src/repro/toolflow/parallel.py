@@ -51,7 +51,12 @@ from repro.io.fingerprint import circuit_fingerprint
 from repro.ir.circuit import Circuit
 from repro.isa.program import QCCDProgram
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import span
+from repro.obs.trace import (
+    current_span_ref,
+    current_tracer,
+    enable_tracing,
+    span,
+)
 from repro.sim.batch import simulate_gate_variants
 from repro.sim.engine import simulate
 from repro.toolflow.config import ArchitectureConfig
@@ -299,13 +304,31 @@ def _execute_task(task: SweepTask, cache: ProgramCache) -> List[ExperimentRecord
 _WORKER_CACHE: Optional[ProgramCache] = None
 
 
+def _pool_tracer_init(trace_id: Optional[str],
+                      parent_ref: Optional[str]) -> None:
+    """Pool-child initializer: join the parent's trace, if it has one.
+
+    Runs once per worker process.  When the parent traced the sweep, every
+    child arms a tracer under the same root ``trace_id`` with the parent's
+    open span as its cross-process ``parent_ref`` -- so ``sweep.task``
+    spans executed in pool children appear in the merged trace instead of
+    silently vanishing into untraced processes.
+    """
+
+    if trace_id is not None:
+        enable_tracing(trace_id=trace_id, parent_ref=parent_ref)
+
+
 def _worker_execute(task: SweepTask,
-                    ) -> Tuple[List[ExperimentRecord], Dict[str, int]]:
+                    ) -> Tuple[List[ExperimentRecord], Dict[str, int],
+                               Optional[List[Dict[str, object]]]]:
     """Execute one task in a pool worker.
 
-    Returns the records plus the worker cache's counter movement for this
-    task, so the parent process can aggregate cache/batch statistics across
-    workers (the memo itself stays process-local).
+    Returns the records, the worker cache's counter movement for this task
+    (so the parent process can aggregate cache/batch statistics across
+    workers; the memo itself stays process-local), and -- when the pool
+    initializer armed a tracer -- the spans this task produced, drained
+    into the self-contained shard schema so the parent can adopt them.
     """
 
     global _WORKER_CACHE
@@ -313,7 +336,13 @@ def _worker_execute(task: SweepTask,
         _WORKER_CACHE = ProgramCache()
     before = _WORKER_CACHE.stats()
     records = execute_task(task, _WORKER_CACHE)
-    return records, _WORKER_CACHE.counters_delta(before)
+    spans: Optional[List[Dict[str, object]]] = None
+    tracer = current_tracer()
+    if tracer is not None and (tracer.spans or tracer.foreign):
+        from repro.obs.distributed import drain_records
+
+        spans = drain_records(tracer)
+    return records, _WORKER_CACHE.counters_delta(before), spans
 
 
 def iter_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
@@ -325,6 +354,12 @@ def iter_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
     consumers can checkpoint incrementally -- the DSE experiment store
     persists each design point the moment it completes, which is what makes
     killed sweeps resumable at point granularity.
+
+    When the parent has tracing enabled, pool children join the same trace
+    (root ``trace_id`` + the parent's open span as ``parent_ref``) through
+    the pool initializer and ship their span records home with each task's
+    results, so a ``--jobs N`` sweep traces its ``sweep.task`` spans just
+    like a serial one.
 
     Parameters
     ----------
@@ -350,11 +385,21 @@ def iter_tasks(tasks: Sequence[SweepTask], *, jobs: int = 1,
         for task in tasks:
             yield execute_task(task, cache)
         return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+    tracer = current_tracer()
+    initargs = ((tracer.trace_id, current_span_ref())
+                if tracer is not None else (None, None))
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
+                             initializer=_pool_tracer_init,
+                             initargs=initargs) as pool:
         chunksize = max(1, len(tasks) // (4 * jobs))
-        for records, delta in pool.map(_worker_execute, tasks, chunksize=chunksize):
+        for records, delta, spans in pool.map(_worker_execute, tasks,
+                                              chunksize=chunksize):
             if cache is not None:
                 cache.merge_counters(delta)
+            if spans and tracer is not None:
+                from repro.obs.distributed import adopt_exported
+
+                adopt_exported(tracer, spans)
             yield records
 
 

@@ -1,0 +1,479 @@
+"""Tests for fleet-wide distributed tracing (repro.obs.distributed).
+
+Covers the ISSUE's guarantees: the trace context propagates into pool
+children (``sweep.task`` spans no longer vanish for ``--jobs 2``) and into
+dispatched worker subprocesses via the environment; worker shards flush
+crash-safely and merge deterministically -- the same span set produces a
+byte-identical Chrome trace regardless of how it was split across shard
+files; torn or corrupt shard lines are skipped with the store's
+``StoreCorruptionWarning`` discipline while the merged trace still
+validates and profiles; and the profiler resolves cross-process
+``parent_ref`` links into one fleet critical path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.dse import DesignSpace, Dispatcher
+from repro.dse.dispatch import run_worker, telemetry_summary
+from repro.dse.store import StoreCorruptionWarning
+from repro.obs import (
+    SHARD_SCHEMA_VERSION,
+    TRACE_DIR,
+    TraceContext,
+    TraceShardWriter,
+    adopt_shards,
+    build_profile,
+    chrome_trace,
+    current_span_name,
+    current_span_ref,
+    disable_tracing,
+    enable_tracing,
+    read_trace_shards,
+    render_top,
+    reset_registry,
+    span,
+    validate_chrome_trace,
+    write_merged_trace,
+)
+from repro.obs.distributed import (
+    ENV_TRACE_ID,
+    ENV_TRACE_PARENT,
+    drain_records,
+    export_records,
+)
+from repro.toolflow import ArchitectureConfig, SweepTask
+from repro.toolflow.parallel import run_tasks
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    disable_tracing()
+    reset_registry()
+    yield
+    disable_tracing()
+    reset_registry()
+
+
+def _make_spans(tracer):
+    with span("dse.shard", shard="s0"):
+        with span("sweep.task"):
+            pass
+    return tracer
+
+
+# --------------------------------------------------------------------------- #
+# Trace context propagation
+# --------------------------------------------------------------------------- #
+class TestTraceContext:
+    def test_env_round_trip(self):
+        tracer = enable_tracing()
+        with span("dse.dispatch"):
+            ctx = TraceContext.from_tracer(tracer,
+                                           parent_ref=current_span_ref())
+            env = {}
+            ctx.stamp(env)
+            assert env[ENV_TRACE_ID] == tracer.trace_id
+            assert env[ENV_TRACE_PARENT] == f"{tracer.pid}:1"
+        back = TraceContext.from_env(env)
+        assert back == ctx
+
+    def test_from_env_absent(self):
+        assert TraceContext.from_env({}) is None
+        assert TraceContext.from_env({ENV_TRACE_ID: ""}) is None
+
+    def test_stamp_clears_stale_parent(self):
+        env = {ENV_TRACE_PARENT: "9:9"}
+        TraceContext(trace_id="t").stamp(env)
+        assert ENV_TRACE_PARENT not in env
+
+    def test_arm_is_idempotent(self):
+        ctx = TraceContext(trace_id="root-x", parent_ref="7:3")
+        tracer = ctx.arm()
+        assert tracer.trace_id == "root-x"
+        assert tracer.parent_ref == "7:3"
+        assert ctx.arm() is tracer
+
+    def test_fresh_tracer_restarts_parent_chain(self):
+        # A forked pool child inherits the parent's ContextVar; a fresh
+        # tracer must not attribute new spans to another process's span.
+        enable_tracing()
+        with span("outer"):
+            tracer = enable_tracing()
+            with span("inner"):
+                pass
+        assert tracer.spans[0].parent_id is None
+
+    def test_current_span_name_tracks_open_span(self):
+        assert current_span_name() is None
+        enable_tracing()
+        assert current_span_name() is None
+        with span("dse.shard"):
+            with span("sweep.task"):
+                assert current_span_name() == "sweep.task"
+            assert current_span_name() == "dse.shard"
+        assert current_span_name() is None
+
+
+# --------------------------------------------------------------------------- #
+# Pool children (the --jobs 2 regression)
+# --------------------------------------------------------------------------- #
+class TestPoolChildSpans:
+    def test_jobs2_sweep_ships_task_spans_home(self, qft8):
+        config = ArchitectureConfig(topology="L3", trap_capacity=6)
+        tasks = [SweepTask(qft8, config),
+                 SweepTask(qft8, config.with_updates(trap_capacity=8))]
+        tracer = enable_tracing()
+        with span("sweep", points=len(tasks)):
+            run_tasks(tasks, jobs=2)
+        disable_tracing()
+        assert [s.name for s in tracer.spans] == ["sweep"]
+        names = {r["name"] for r in tracer.foreign}
+        assert "sweep.task" in names  # regression: these used to vanish
+        assert {r["trace_id"] for r in tracer.foreign} == {tracer.trace_id}
+        roots = [r for r in tracer.foreign if r.get("parent_id") is None]
+        assert roots and all(r["parent_ref"] == f"{tracer.pid}:1"
+                             for r in roots)
+        # The fleet critical path descends from the parent's sweep span
+        # into a pool child's task.
+        profile = build_profile(tracer.records())
+        path_names = [step["name"] for step in profile["critical_path"]]
+        assert path_names[0] == "sweep"
+        assert "sweep.task" in path_names
+        assert len({step["pid"] for step in profile["critical_path"]}) == 2
+
+    def test_untraced_jobs2_sweep_ships_nothing(self, qft8):
+        config = ArchitectureConfig(topology="L3", trap_capacity=6)
+        tasks = [SweepTask(qft8, config),
+                 SweepTask(qft8, config.with_updates(trap_capacity=8))]
+        run_tasks(tasks, jobs=2)  # no tracer armed: must not blow up
+        assert disable_tracing() is None
+
+
+# --------------------------------------------------------------------------- #
+# Shard write / read round trip
+# --------------------------------------------------------------------------- #
+class TestTraceShards:
+    def test_export_records_schema(self):
+        tracer = enable_tracing(trace_id="root-1", parent_ref="5:2")
+        _make_spans(tracer)
+        records = export_records(tracer, owner="w0")
+        assert len(records) == 2
+        for record in records:
+            assert record["schema_version"] == SHARD_SCHEMA_VERSION
+            assert record["trace_id"] == "root-1"
+            assert record["owner"] == "w0"
+            assert "epoch_start_s" in record and "start_s" not in record
+        roots = [r for r in records if r["parent_id"] is None]
+        assert [r["parent_ref"] for r in roots] == ["5:2"]
+        kids = [r for r in records if r["parent_id"] is not None]
+        assert all("parent_ref" not in r for r in kids)
+
+    def test_drain_records_clears_and_keeps_ids_unique(self):
+        tracer = enable_tracing()
+        _make_spans(tracer)
+        first = drain_records(tracer)
+        assert tracer.spans == [] and tracer.foreign == []
+        _make_spans(tracer)
+        second = drain_records(tracer)
+        ids = [r["span_id"] for r in first + second]
+        assert len(ids) == len(set(ids))
+
+    def test_writer_flush_and_read_round_trip(self, tmp_path):
+        tracer = enable_tracing()
+        _make_spans(tracer)
+        writer = TraceShardWriter(tmp_path, "worker/0")
+        path = writer.flush(tracer)
+        assert path == tmp_path / TRACE_DIR / "worker_0.jsonl"
+        records, skips = read_trace_shards(tmp_path)
+        assert skips == {}
+        assert [r["name"] for r in records] == ["dse.shard", "sweep.task"]
+
+    def test_flush_none_and_empty_are_noops(self, tmp_path):
+        writer = TraceShardWriter(tmp_path, "w0")
+        assert writer.flush(None) is None
+        assert writer.flush(enable_tracing()) is None
+        assert not (tmp_path / TRACE_DIR).exists()
+
+    def test_read_missing_directory(self, tmp_path):
+        assert read_trace_shards(tmp_path) == ([], {})
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic merging
+# --------------------------------------------------------------------------- #
+def _shard_record(name, span_id, pid, start, *, parent=None, ref=None,
+                  owner=None):
+    record = {"name": name, "span_id": span_id, "parent_id": parent,
+              "pid": pid, "tid": 1, "epoch_start_s": start,
+              "duration_s": 0.5, "attrs": {},
+              "trace_id": "root-t", "schema_version": SHARD_SCHEMA_VERSION}
+    if ref:
+        record["parent_ref"] = ref
+    if owner:
+        record["owner"] = owner
+    return record
+
+
+def _write_shard(store, name, records):
+    directory = Path(store) / TRACE_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    text = "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    (directory / name).write_text(text)
+
+
+FLEET_RECORDS = [
+    _shard_record("dse.shard", 1, 100, 10.0, owner="w0"),
+    _shard_record("sweep.task", 2, 100, 10.1, parent=1, owner="w0"),
+    _shard_record("dse.shard", 1, 200, 10.2, owner="w1"),
+    _shard_record("sweep.task", 2, 200, 10.3, parent=1, owner="w1"),
+]
+
+
+class TestMergeDeterminism:
+    def test_merge_is_independent_of_shard_split(self, tmp_path):
+        split_a = tmp_path / "a"
+        _write_shard(split_a, "w0.jsonl", FLEET_RECORDS[:2])
+        _write_shard(split_a, "w1.jsonl", FLEET_RECORDS[2:])
+        split_b = tmp_path / "b"
+        _write_shard(split_b, "odd.jsonl", FLEET_RECORDS[::2][::-1])
+        _write_shard(split_b, "even.jsonl", FLEET_RECORDS[1::2])
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        write_merged_trace(split_a, out_a)
+        write_merged_trace(split_b, out_b)
+        assert out_a.read_bytes() == out_b.read_bytes()
+        spans_a = out_a.with_name("a.spans.jsonl").read_bytes()
+        spans_b = out_b.with_name("b.spans.jsonl").read_bytes()
+        assert spans_a == spans_b
+
+    def test_merged_trace_validates_with_metadata(self, tmp_path):
+        _write_shard(tmp_path, "w0.jsonl", FLEET_RECORDS)
+        out = tmp_path / "out.json"
+        _, info = write_merged_trace(tmp_path, out)
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == 4 + 2 + 2
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["pid"], e["args"]["name"]) for e in metadata}
+        assert ("process_name", 100, "w0") in names
+        assert ("process_name", 200, "w1") in names
+        assert payload["otherData"]["trace_id"] == "root-t"
+        assert info["spans"] == 4 and len(info["pids"]) == 2
+
+    def test_merge_empty_store_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no trace shards"):
+            write_merged_trace(tmp_path, tmp_path / "out.json")
+
+    def test_adopt_shards_drops_own_pid(self, tmp_path):
+        own = enable_tracing()
+        mixed = FLEET_RECORDS + [
+            _shard_record("dse.dispatch", 9, os.getpid(), 9.9, owner="me")]
+        _write_shard(tmp_path, "w0.jsonl", mixed)
+        info = adopt_shards(own, tmp_path)
+        assert info["spans"] == 4  # the own-pid record was dropped
+        assert {r["pid"] for r in own.foreign} == {100, 200}
+        assert [s.name for s in own.spans] == ["trace.merge"]
+
+
+# --------------------------------------------------------------------------- #
+# Crash path: torn and corrupt shard lines
+# --------------------------------------------------------------------------- #
+class TestShardCorruption:
+    def test_torn_tail_skipped_silently(self, tmp_path):
+        _write_shard(tmp_path, "w0.jsonl", FLEET_RECORDS[:2])
+        shard = tmp_path / TRACE_DIR / "w0.jsonl"
+        shard.write_text(shard.read_text()
+                         + json.dumps(FLEET_RECORDS[2])[:25])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a torn tail must not warn
+            records, skips = read_trace_shards(tmp_path)
+        assert len(records) == 2
+        assert skips == {"w0.jsonl": 1}
+
+    def test_mid_file_corruption_warns(self, tmp_path):
+        shard = tmp_path / TRACE_DIR / "w0.jsonl"
+        shard.parent.mkdir(parents=True)
+        lines = [json.dumps(FLEET_RECORDS[0], sort_keys=True),
+                 "{not json",
+                 json.dumps({"name": "x"}),  # missing required keys
+                 json.dumps(FLEET_RECORDS[1], sort_keys=True)]
+        shard.write_text("\n".join(lines) + "\n")
+        with pytest.warns(StoreCorruptionWarning) as caught:
+            records, skips = read_trace_shards(tmp_path)
+        assert len(records) == 2
+        assert skips == {"w0.jsonl": 2}
+        assert any("w0.jsonl:2" in str(w.message) for w in caught)
+
+    def test_future_schema_version_skipped(self, tmp_path):
+        future = dict(FLEET_RECORDS[0],
+                      schema_version=SHARD_SCHEMA_VERSION + 1)
+        _write_shard(tmp_path, "w0.jsonl", [FLEET_RECORDS[1], future])
+        with pytest.warns(StoreCorruptionWarning, match="newer than"):
+            records, skips = read_trace_shards(tmp_path)
+        assert len(records) == 1
+        assert skips == {"w0.jsonl": 1}
+
+    def test_torn_store_still_merges_and_profiles(self, tmp_path):
+        _write_shard(tmp_path, "w0.jsonl", FLEET_RECORDS)
+        shard = tmp_path / TRACE_DIR / "w0.jsonl"
+        shard.write_text(shard.read_text() + '{"name": "torn')
+        out = tmp_path / "out.json"
+        paths, info = write_merged_trace(tmp_path, out)
+        assert sum(info["skipped"].values()) == 1
+        validate_chrome_trace(json.loads(out.read_text()))
+        spans = [json.loads(line) for line in
+                 paths["spans"].read_text().splitlines()]
+        profile = build_profile(spans)
+        assert profile["num_spans"] == 4
+        assert [s["name"] for s in profile["critical_path"]] == \
+            ["dse.shard", "sweep.task"]
+
+
+# --------------------------------------------------------------------------- #
+# Cross-process profiling
+# --------------------------------------------------------------------------- #
+class TestFleetProfile:
+    def test_parent_ref_links_across_pids(self):
+        spans = [
+            {"name": "dse.dispatch", "span_id": 1, "parent_id": None,
+             "pid": 1, "tid": 1, "start_s": 0.0, "duration_s": 4.0,
+             "attrs": {}},
+            {"name": "dse.shard", "span_id": 1, "parent_id": None,
+             "parent_ref": "1:1", "pid": 2, "tid": 1, "start_s": 0.5,
+             "duration_s": 3.0, "attrs": {}},
+            {"name": "sweep.task", "span_id": 2, "parent_id": 1,
+             "pid": 2, "tid": 1, "start_s": 0.6, "duration_s": 2.0,
+             "attrs": {}},
+        ]
+        profile = build_profile(spans)
+        assert profile["wall_s"] == 4.0  # only the dispatch span is a root
+        assert [(s["name"], s["pid"]) for s in profile["critical_path"]] == \
+            [("dse.dispatch", 1), ("dse.shard", 2), ("sweep.task", 2)]
+        tree_paths = {node["path"] for node in profile["tree"]}
+        assert "dse.dispatch;dse.shard;sweep.task" in tree_paths
+
+    def test_colliding_span_ids_stay_separate_per_pid(self):
+        spans = [
+            {"name": "dse.shard", "span_id": 1, "parent_id": None,
+             "pid": pid, "tid": 1, "start_s": 0.0, "duration_s": 1.0,
+             "attrs": {}}
+            for pid in (1, 2)
+        ] + [
+            {"name": "sweep.task", "span_id": 2, "parent_id": 1,
+             "pid": pid, "tid": 1, "start_s": 0.1, "duration_s": 0.5,
+             "attrs": {}}
+            for pid in (1, 2)
+        ]
+        profile = build_profile(spans)
+        assert profile["names"]["sweep.task"]["count"] == 2
+        node = {n["path"]: n for n in profile["tree"]}
+        assert node["dse.shard;sweep.task"]["count"] == 2
+
+    def test_bad_parent_ref_treated_as_root(self):
+        spans = [{"name": "dse.shard", "span_id": 1, "parent_id": None,
+                  "parent_ref": "not-a-ref:x", "pid": 2, "tid": 1,
+                  "start_s": 0.0, "duration_s": 1.0, "attrs": {}}]
+        profile = build_profile(spans)
+        assert profile["wall_s"] == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# End to end: traced dispatch, live phase, CLI merge
+# --------------------------------------------------------------------------- #
+def _tiny_space():
+    return DesignSpace.from_dict({
+        "apps": ["QFT"], "qubits": [6], "topologies": ["L3"],
+        "capacities": [6, 8], "gates": ["FM"], "reorders": ["GS"],
+    })
+
+
+class TestTracedDispatch:
+    def test_worker_joins_env_trace_and_flushes_shard(self, tmp_path,
+                                                      monkeypatch):
+        dispatcher = Dispatcher(_tiny_space(), tmp_path, workers=1, shards=1)
+        dispatcher.prepare()
+        monkeypatch.setenv(ENV_TRACE_ID, "root-env")
+        monkeypatch.setenv(ENV_TRACE_PARENT, "1:1")
+        run_worker(tmp_path, owner="w0")
+        disable_tracing()  # run_worker armed this process's tracer
+        records, skips = read_trace_shards(tmp_path)
+        assert skips == {}
+        assert {r["trace_id"] for r in records} == {"root-env"}
+        assert {r["owner"] for r in records} == {"w0"}
+        roots = [r for r in records if r["parent_id"] is None]
+        assert roots and all(r["parent_ref"] == "1:1" for r in roots)
+        assert "dse.shard" in {r["name"] for r in records}
+
+    def test_dispatch_merges_fleet_trace(self, tmp_path):
+        tracer = enable_tracing()
+        summary = Dispatcher(_tiny_space(), tmp_path, workers=2,
+                             shards=2).run(timeout_s=300)
+        disable_tracing()
+        assert summary["complete"]
+        info = summary["trace"]
+        assert info["spans"] == len(tracer.foreign) > 0
+        assert info["trace_ids"] == [tracer.trace_id]
+        # The spans arrived from worker subprocesses, not this process.
+        assert os.getpid() not in {r["pid"] for r in tracer.foreign}
+        payload = chrome_trace(tracer)
+        validate_chrome_trace(payload)
+        assert any(e["ph"] == "M" for e in payload["traceEvents"])
+        profile = build_profile(tracer.records())
+        path_names = [s["name"] for s in profile["critical_path"]]
+        assert path_names[0] == "dse.dispatch"
+        assert "dse.shard" in path_names
+
+    def test_untraced_dispatch_writes_no_shards(self, tmp_path):
+        summary = Dispatcher(_tiny_space(), tmp_path, workers=1,
+                             shards=1).run(timeout_s=300)
+        assert summary["complete"]
+        assert "trace" not in summary
+        assert not (tmp_path / TRACE_DIR).exists()
+
+    def test_trace_merge_cli(self, tmp_path, capsys):
+        _write_shard(tmp_path / "store", "w0.jsonl", FLEET_RECORDS)
+        out = tmp_path / "merged.json"
+        code = main(["trace", "merge", "--store", str(tmp_path / "store"),
+                     "--output", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "4 spans from 2 process(es)" in text
+        validate_chrome_trace(json.loads(out.read_text()))
+
+    def test_trace_merge_cli_empty_store(self, tmp_path, capsys):
+        code = main(["trace", "merge", "--store", str(tmp_path),
+                     "--output", str(tmp_path / "out.json")])
+        assert code == 1
+        assert "cannot merge" in capsys.readouterr().err
+
+
+class TestLivePhase:
+    def test_phase_in_telemetry_summary(self, tmp_path):
+        from repro.dse.dispatch import WorkerTelemetry
+
+        telemetry = WorkerTelemetry(tmp_path, "w0")
+        telemetry.emit("worker_start", pid=1)
+        telemetry.emit("renew", work="shard-0", phase="dse.shard")
+        row = telemetry_summary(tmp_path)["w0"]
+        assert row["phase"] == "dse.shard"
+        telemetry.emit("done", work="shard-0")
+        row = telemetry_summary(tmp_path)["w0"]
+        assert row["phase"] is None  # the work unit's span closed with it
+
+    def test_render_top_shows_phase(self):
+        snapshot = {
+            "store": "s", "progress": {},
+            "workers": {"w0": {"alive": True, "last_seen_age_s": 1.0,
+                               "done": 1, "lost": 0, "claims": 2,
+                               "phase": "dse.shard"}},
+            "timeline": None, "stragglers": {}, "ttl_s": 30.0,
+        }
+        frame = render_top(snapshot)
+        assert "in dse.shard" in frame
